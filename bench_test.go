@@ -1,0 +1,311 @@
+// Package repro benchmarks regenerate every table and figure of the paper
+// and time the substrate components. One benchmark exists per paper
+// artifact (Tables I-IV, Figs. 6-7, the headline aggregates, the corpus
+// ablation) plus ablation benches for the design choices called out in
+// DESIGN.md Section 5. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches report calibration metrics (measured value for a
+// pinned cell) alongside timing so a bench run doubles as a regression
+// check against the paper's numbers.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bpe"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/ngram"
+	"repro/internal/problems"
+	"repro/internal/sim"
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+	"repro/internal/vnum"
+)
+
+// shared harness: built once; the eval cache makes repeated table
+// regeneration cheap, which is also how the real tool amortizes sweeps.
+var (
+	benchOnce sync.Once
+	benchH    *harness.Harness
+	benchAlt  *harness.Harness // GitHub+books family for the ablation bench
+)
+
+func benchHarness() *harness.Harness {
+	benchOnce.Do(func() {
+		opts := harness.Options{
+			Seed:        123,
+			CorpusFiles: 60,
+			Sweep:       eval.SweepOptions{N: 5, Temperatures: []float64{0.1, 0.5, 1.0}},
+		}
+		benchH = harness.New(opts)
+		alt := opts
+		alt.Corpus = model.GitHubPlusBooks
+		benchAlt = harness.New(alt)
+	})
+	return benchH
+}
+
+// ---- one benchmark per paper artifact -------------------------------------
+
+func BenchmarkTableI(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(h.TableI()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(h.TableII()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h.TableIII()
+	}
+	_ = out
+	mv := eval.ModelVariant{Model: model.CodeGen16B, Variant: model.FineTuned}
+	got := h.Runner.TableIIICell(mv, problems.Basic, h.Opts)
+	b.ReportMetric(got, "16BFT-basic-compile")
+	b.ReportMetric(0.942, "paper-value")
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = h.TableIV()
+	}
+	_ = out
+	mv := eval.ModelVariant{Model: model.CodeGen16B, Variant: model.FineTuned}
+	got := h.Runner.TableIVCell(mv, problems.Basic, problems.LevelLow, h.Opts)
+	b.ReportMetric(got, "16BFT-basicL-pass")
+	b.ReportMetric(0.745, "paper-value")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(h.Figure6()) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(h.Figure7()) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	var hl eval.Headline
+	for i := 0; i < b.N; i++ {
+		hl = h.Runner.ComputeHeadline(h.Opts)
+	}
+	b.ReportMetric(hl.FunctionalFT, "FT-functional")
+	b.ReportMetric(model.HeadlineFunctionalFT, "paper-value")
+}
+
+func BenchmarkAblation(b *testing.B) {
+	h := benchHarness()
+	mv := eval.ModelVariant{Model: model.CodeGen16B, Variant: model.FineTuned}
+	b.ResetTimer()
+	var gh, books float64
+	for i := 0; i < b.N; i++ {
+		gh = h.Runner.Aggregate(mv, h.Opts).PassRate()
+		books = benchAlt.Runner.Aggregate(mv, h.Opts).PassRate()
+	}
+	if gh > 0 {
+		b.ReportMetric(books/gh-1, "books-gain")
+		b.ReportMetric(model.HeadlineBooksGain, "paper-value")
+	}
+}
+
+func BenchmarkCorpusPipeline(b *testing.B) {
+	files := corpus.GenerateGitHub(corpus.DefaultGitHubOptions(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kept, _ := corpus.Curate(files, corpus.FilterOptions{})
+		if len(kept) == 0 {
+			b.Fatal("nothing kept")
+		}
+	}
+}
+
+func BenchmarkFailureGallery(b *testing.B) {
+	h := benchHarness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(h.FailureGallery()) == 0 {
+			b.Fatal("empty gallery")
+		}
+	}
+}
+
+// ---- design-choice ablation benches (DESIGN.md Section 5) ------------------
+
+func BenchmarkMinHashSig64(b *testing.B)  { benchMinHash(b, 64) }
+func BenchmarkMinHashSig256(b *testing.B) { benchMinHash(b, 256) }
+
+func benchMinHash(b *testing.B, size int) {
+	mh := corpus.NewMinHash(size)
+	doc := corpus.GenerateModule(rand.New(rand.NewSource(1)))
+	set := corpus.Shingles(doc, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mh.Signature(set)
+	}
+}
+
+func BenchmarkVnumAdd64(b *testing.B)  { benchVnumAdd(b, 64) }
+func BenchmarkVnumAdd512(b *testing.B) { benchVnumAdd(b, 512) }
+
+func benchVnumAdd(b *testing.B, width int) {
+	x := vnum.FromUint64(width, 0xDEADBEEF)
+	y := vnum.FromUint64(width, 0x12345678)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = vnum.Add(x, y)
+	}
+}
+
+func BenchmarkVnumMul64(b *testing.B) {
+	x := vnum.FromUint64(64, 0xDEADBEEF)
+	y := vnum.FromUint64(64, 0x1234567)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vnum.Mul(x, y)
+	}
+}
+
+func BenchmarkNgramOrder2(b *testing.B) { benchNgram(b, 2) }
+func BenchmarkNgramOrder5(b *testing.B) { benchNgram(b, 5) }
+
+func benchNgram(b *testing.B, order int) {
+	m := ngram.New(order)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]int, 5000)
+	for i := range data {
+		data[i] = rng.Intn(64)
+	}
+	m.Train(data)
+	b.ResetTimer()
+	srng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		m.Generate(data[:4], 50, 0.5, srng)
+	}
+}
+
+func BenchmarkBPEEncode(b *testing.B) {
+	docs := []string{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		docs = append(docs, corpus.NormalizeForLM(corpus.GenerateModule(rng)))
+	}
+	tok := bpe.Train(docs, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Encode(docs[i%len(docs)])
+	}
+}
+
+func BenchmarkBPETrainVocab512(b *testing.B) {
+	docs := []string{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		docs = append(docs, corpus.NormalizeForLM(corpus.GenerateModule(rng)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bpe.Train(docs, 512)
+	}
+}
+
+func BenchmarkParseReference(b *testing.B) {
+	src := problems.ByNumber(17).ReferenceSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vlog.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileCheck(b *testing.B) {
+	src := problems.ByNumber(17).ReferenceSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := vlog.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := elab.CompileCheck(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerRegions times a full test-bench simulation — the
+// stratified event queue under a realistic clocked workload.
+func BenchmarkSchedulerRegions(b *testing.B) {
+	p := problems.ByNumber(6)
+	src := p.ReferenceSource() + "\n" + p.Testbench
+	f, err := vlog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := elab.Elaborate(f, "tb", elab.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.New(d, sim.Options{}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !problems.PassVerdict(res.Output) {
+			b.Fatal("reference failed")
+		}
+	}
+}
+
+// BenchmarkFullPipelineEvaluation times one completion through the whole
+// compile + simulate verdict path (the per-sample cost of Tables III/IV).
+func BenchmarkFullPipelineEvaluation(b *testing.B) {
+	p := problems.ByNumber(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := eval.Evaluate(p, problems.LevelHigh, p.RefBody)
+		if !o.Passes {
+			b.Fatal("reference failed")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command vgen-eval runs the paper's evaluation sweeps and regenerates its
+// tables and figures.
+//
+// Usage:
+//
+//	vgen-eval [-seed N] [-n N] [-quick] [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|list]
+//
+// -quick restricts the sweep to t=0.1 and small n, which preserves the
+// best-temperature table values (best is t=0.1 by construction and in the
+// paper) while running in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/harness"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "determinism seed for corpus, models and sampling")
+	n := flag.Int("n", 10, "completions per prompt")
+	quick := flag.Bool("quick", false, "sweep only t=0.1 (fast; matches best-t tables)")
+	experiment := flag.String("experiment", "all", "which artifact to regenerate")
+	corpusFiles := flag.Int("corpus-files", 0, "synthetic corpus size (0 = default)")
+	flag.Parse()
+
+	sweep := eval.SweepOptions{N: *n}
+	if *quick {
+		sweep.Temperatures = []float64{0.1}
+		if *n > 6 {
+			sweep.N = 6
+		}
+	}
+
+	if *experiment == "list" {
+		for _, it := range harness.ExperimentIndex() {
+			fmt.Println(it)
+		}
+		return
+	}
+
+	fw := core.New(core.Config{Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep})
+	h := fw.Harness
+
+	run := func(name string, f func() string) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		fmt.Println(f())
+	}
+	run("table1", h.TableI)
+	run("table2", h.TableII)
+	run("table3", h.TableIII)
+	run("table4", h.TableIV)
+	run("fig6", h.Figure6)
+	run("fig7", h.Figure7)
+	run("headline", h.HeadlineReport)
+	run("ablation", h.Ablation)
+	run("corpus", h.CorpusStats)
+	run("gallery", h.FailureGallery)
+	run("passk", h.PassAtKTable)
+	run("problems", h.ProblemBreakdown)
+	run("lint", h.LintReport)
+
+	switch *experiment {
+	case "all", "table1", "table2", "table3", "table4", "fig6", "fig7",
+		"headline", "ablation", "corpus", "gallery", "passk", "problems", "lint":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", *experiment)
+		os.Exit(2)
+	}
+}

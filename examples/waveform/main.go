@@ -1,0 +1,55 @@
+// Waveform dump: run the 1-to-12 counter's test bench with VCD collection
+// enabled and write the waveform to counter.vcd, viewable in GTKWave or
+// any VCD reader. Demonstrates the simulator's $dumpvars support.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/problems"
+	"repro/internal/sim"
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+func main() {
+	p := problems.ByNumber(6)
+	src := p.ReferenceSource() + "\n" + p.Testbench
+
+	f, err := vlog.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	d, err := elab.Elaborate(f, "tb", elab.Options{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.New(d, sim.Options{DumpVCD: true}).Run()
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("test bench output:")
+	fmt.Print(res.Output)
+	fmt.Printf("\nsimulation ended at t=%d with %d VCD lines\n",
+		res.Time, strings.Count(res.VCD, "\n"))
+
+	const path = "counter.vcd"
+	if err := os.WriteFile(path, []byte(res.VCD), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("waveform written to %s\n", path)
+
+	// show the first transitions of q as a preview
+	fmt.Println("\nVCD preview:")
+	lines := strings.Split(res.VCD, "\n")
+	for i, l := range lines {
+		if i > 40 {
+			fmt.Println("...")
+			break
+		}
+		fmt.Println(l)
+	}
+}

@@ -1,0 +1,227 @@
+// Package bpe implements a trainable byte-pair encoder (Gage 1994, as used
+// by the paper's LLM tokenizers). Training learns merge rules from a
+// corpus; encoding applies them greedily in learned order. The paper's
+// models consume prompts as BPE token streams and are budgeted in tokens
+// (max_tokens 300/256), so the evaluation pipeline needs a real tokenizer
+// to reproduce truncation behaviour.
+package bpe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tokenizer is a trained byte-pair encoder.
+type Tokenizer struct {
+	merges []merge         // learned merge rules, in application order
+	vocab  map[string]int  // token string -> id
+	tokens []string        // id -> token string
+	rank   map[pairKey]int // merge pair -> rank (lower applies first)
+}
+
+type merge struct {
+	left, right string
+}
+
+type pairKey struct {
+	left, right string
+}
+
+// Train learns up to vocabSize-256 merges from the corpus. The initial
+// vocabulary is the 256 single bytes; words are split on whitespace with a
+// word-boundary marker so merges never cross words.
+func Train(corpus []string, vocabSize int) *Tokenizer {
+	t := &Tokenizer{
+		vocab: map[string]int{},
+		rank:  map[pairKey]int{},
+	}
+	for i := 0; i < 256; i++ {
+		tok := string(rune(i))
+		t.vocab[tok] = i
+		t.tokens = append(t.tokens, tok)
+	}
+
+	// word frequency table
+	wordFreq := map[string]int{}
+	for _, doc := range corpus {
+		for _, w := range strings.Fields(doc) {
+			wordFreq[w]++
+		}
+	}
+	type wordState struct {
+		parts []string
+		freq  int
+	}
+	var words []*wordState
+	for w, f := range wordFreq {
+		parts := make([]string, 0, len(w))
+		for _, b := range []byte(w) {
+			parts = append(parts, string(rune(b)))
+		}
+		words = append(words, &wordState{parts: parts, freq: f})
+	}
+	// deterministic iteration
+	sort.Slice(words, func(i, j int) bool {
+		return strings.Join(words[i].parts, "") < strings.Join(words[j].parts, "")
+	})
+
+	target := vocabSize - 256
+	for len(t.merges) < target {
+		// count adjacent pairs
+		counts := map[pairKey]int{}
+		for _, ws := range words {
+			for i := 0; i+1 < len(ws.parts); i++ {
+				counts[pairKey{ws.parts[i], ws.parts[i+1]}] += ws.freq
+			}
+		}
+		if len(counts) == 0 {
+			break
+		}
+		best := pairKey{}
+		bestCount := 0
+		for k, c := range counts {
+			if c > bestCount || (c == bestCount && lessPair(k, best)) {
+				best, bestCount = k, c
+			}
+		}
+		if bestCount < 2 {
+			break // no productive merges left
+		}
+		t.rank[best] = len(t.merges)
+		t.merges = append(t.merges, merge{left: best.left, right: best.right})
+		joined := best.left + best.right
+		if _, ok := t.vocab[joined]; !ok {
+			t.vocab[joined] = len(t.tokens)
+			t.tokens = append(t.tokens, joined)
+		}
+		// apply the merge to every word
+		for _, ws := range words {
+			ws.parts = applyMerge(ws.parts, best)
+		}
+	}
+	return t
+}
+
+func lessPair(a, b pairKey) bool {
+	if a.left != b.left {
+		return a.left < b.left
+	}
+	return a.right < b.right
+}
+
+func applyMerge(parts []string, m pairKey) []string {
+	out := parts[:0]
+	i := 0
+	for i < len(parts) {
+		if i+1 < len(parts) && parts[i] == m.left && parts[i+1] == m.right {
+			out = append(out, m.left+m.right)
+			i += 2
+		} else {
+			out = append(out, parts[i])
+			i++
+		}
+	}
+	return out
+}
+
+// VocabSize returns the number of distinct tokens.
+func (t *Tokenizer) VocabSize() int { return len(t.tokens) }
+
+// NumMerges returns the number of learned merge rules.
+func (t *Tokenizer) NumMerges() int { return len(t.merges) }
+
+// Token returns the string form of a token id.
+func (t *Tokenizer) Token(id int) (string, bool) {
+	if id < 0 || id >= len(t.tokens) {
+		return "", false
+	}
+	return t.tokens[id], true
+}
+
+// EncodeWord BPE-encodes a single whitespace-free word.
+func (t *Tokenizer) EncodeWord(w string) []int {
+	if w == "" {
+		return nil
+	}
+	parts := make([]string, 0, len(w))
+	for _, b := range []byte(w) {
+		parts = append(parts, string(rune(b)))
+	}
+	for {
+		bestRank := -1
+		bestAt := -1
+		for i := 0; i+1 < len(parts); i++ {
+			if r, ok := t.rank[pairKey{parts[i], parts[i+1]}]; ok {
+				if bestRank < 0 || r < bestRank {
+					bestRank, bestAt = r, i
+				}
+			}
+		}
+		if bestAt < 0 {
+			break
+		}
+		parts = append(parts[:bestAt], append([]string{parts[bestAt] + parts[bestAt+1]}, parts[bestAt+2:]...)...)
+	}
+	ids := make([]int, len(parts))
+	for i, p := range parts {
+		ids[i] = t.vocab[p]
+	}
+	return ids
+}
+
+// Encode tokenizes text: words are BPE-encoded, and single whitespace
+// separators are preserved as byte tokens so decoding round-trips.
+func (t *Tokenizer) Encode(text string) []int {
+	var ids []int
+	i := 0
+	for i < len(text) {
+		j := i
+		for j < len(text) && !isSpace(text[j]) {
+			j++
+		}
+		if j > i {
+			ids = append(ids, t.EncodeWord(text[i:j])...)
+			i = j
+		}
+		for i < len(text) && isSpace(text[i]) {
+			ids = append(ids, int(text[i]))
+			i++
+		}
+	}
+	return ids
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// Decode reconstructs text from token ids; unknown ids render as U+FFFD.
+func (t *Tokenizer) Decode(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		if tok, ok := t.Token(id); ok {
+			sb.WriteString(tok)
+		} else {
+			sb.WriteRune('�')
+		}
+	}
+	return sb.String()
+}
+
+// Truncate returns the prefix of text that fits within maxTokens tokens —
+// the max_tokens cut an LLM API applies to a completion.
+func (t *Tokenizer) Truncate(text string, maxTokens int) string {
+	ids := t.Encode(text)
+	if len(ids) <= maxTokens {
+		return text
+	}
+	return t.Decode(ids[:maxTokens])
+}
+
+// Dump serializes the merge table (for inspection and tests).
+func (t *Tokenizer) Dump() string {
+	var sb strings.Builder
+	for i, m := range t.merges {
+		fmt.Fprintf(&sb, "%d\t%q %q\n", i, m.left, m.right)
+	}
+	return sb.String()
+}

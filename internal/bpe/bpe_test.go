@@ -1,0 +1,99 @@
+package bpe
+
+import (
+	"strings"
+	"testing"
+)
+
+var tinyCorpus = []string{
+	"module counter ( input clk , input reset , output reg q ) ;",
+	"module counter2 ( input clk , input reset , output reg q ) ;",
+	"always @ ( posedge clk ) begin q <= q + 1 ; end endmodule",
+	"always @ ( posedge clk ) begin if ( reset ) q <= 0 ; end endmodule",
+	"assign y = a & b ; assign z = a | b ;",
+}
+
+func TestTrainLearnsMerges(t *testing.T) {
+	tok := Train(tinyCorpus, 300)
+	if tok.NumMerges() == 0 {
+		t.Fatal("no merges learned")
+	}
+	if tok.VocabSize() <= 256 {
+		t.Fatal("vocabulary did not grow")
+	}
+	if tok.VocabSize() > 300 {
+		t.Fatalf("vocab exceeded limit: %d", tok.VocabSize())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tok := Train(tinyCorpus, 320)
+	for _, doc := range tinyCorpus {
+		ids := tok.Encode(doc)
+		if got := tok.Decode(ids); got != doc {
+			t.Errorf("round trip failed:\n in=%q\nout=%q", doc, got)
+		}
+	}
+	// text with unseen words still round-trips (byte fallback)
+	s := "module never_seen_before (input weird);"
+	if got := tok.Decode(tok.Encode(s)); got != s {
+		t.Errorf("fallback round trip failed: %q", got)
+	}
+}
+
+func TestCompressionOnDomainText(t *testing.T) {
+	tok := Train(tinyCorpus, 400)
+	text := "always @ ( posedge clk ) begin q <= q + 1 ; end"
+	ids := tok.Encode(text)
+	if len(ids) >= len(text) {
+		t.Errorf("no compression: %d tokens for %d bytes", len(ids), len(text))
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tok := Train(tinyCorpus, 300)
+	text := strings.Repeat("assign y = a & b ; ", 50)
+	short := tok.Truncate(text, 10)
+	if len(tok.Encode(short)) > 10 {
+		t.Fatalf("truncated text still has %d tokens", len(tok.Encode(short)))
+	}
+	if !strings.HasPrefix(text, short) {
+		t.Fatal("truncation is not a prefix")
+	}
+	if tok.Truncate("short", 100) != "short" {
+		t.Fatal("under-limit text modified")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a := Train(tinyCorpus, 300)
+	b := Train(tinyCorpus, 300)
+	if a.Dump() != b.Dump() {
+		t.Fatal("training is not deterministic")
+	}
+}
+
+func TestEncodeWordGreedyOrder(t *testing.T) {
+	tok := Train([]string{"aaab aaab aaab ab ab"}, 260)
+	ids := tok.EncodeWord("aaab")
+	if got := tok.Decode(ids); got != "aaab" {
+		t.Fatalf("decode = %q", got)
+	}
+	// merged tokens should reduce the id count below byte length
+	if len(ids) >= 4 {
+		t.Fatalf("no merges applied to aaab: %d ids", len(ids))
+	}
+}
+
+func TestTokenLookup(t *testing.T) {
+	tok := Train(tinyCorpus, 280)
+	if _, ok := tok.Token(-1); ok {
+		t.Error("negative id accepted")
+	}
+	if _, ok := tok.Token(1 << 20); ok {
+		t.Error("huge id accepted")
+	}
+	if s, ok := tok.Token(65); !ok || s != "A" {
+		t.Errorf("Token(65) = %q, %v", s, ok)
+	}
+}

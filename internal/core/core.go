@@ -1,0 +1,85 @@
+// Package core is the top-level facade of the VGen-Go evaluation
+// framework — the paper's primary contribution assembled as one API. It
+// wires the corpus pipeline, the simulated-LLM family, the 17-problem
+// benchmark, the compile/simulate pipeline, and the table/figure harness
+// behind a single entry point, so tools and examples need one import.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+// Config selects the framework scale and determinism seed.
+type Config struct {
+	Seed        int64
+	CorpusFiles int              // synthetic GitHub corpus size; 0 = default
+	Corpus      model.CorpusKind // fine-tuning corpus (ablation handle)
+	Sweep       eval.SweepOptions
+}
+
+// Framework is a fully wired evaluation stack.
+type Framework struct {
+	Family  *model.Family
+	Runner  *eval.Runner
+	Harness *harness.Harness
+	cfg     Config
+}
+
+// New builds the framework: runs the corpus pipeline, trains the
+// tokenizer, and prepares the model family and harness.
+func New(cfg Config) *Framework {
+	fam := model.NewFamily(model.Config{
+		Seed:        cfg.Seed,
+		CorpusFiles: cfg.CorpusFiles,
+		Corpus:      cfg.Corpus,
+	})
+	runner := eval.NewRunner(fam, cfg.Seed)
+	return &Framework{
+		Family: fam,
+		Runner: runner,
+		Harness: &harness.Harness{
+			Runner: runner,
+			Opts:   cfg.Sweep,
+			Seed:   cfg.Seed,
+		},
+		cfg: cfg,
+	}
+}
+
+// Problems returns the benchmark problem set (Table II).
+func Problems() []*problems.Problem { return problems.All() }
+
+// Models returns the evaluated model line-up (Table I).
+func Models() []model.ID { return model.IDs }
+
+// EvaluateCompletion runs the compile + functional pipeline on an
+// arbitrary completion for one problem and prompt level. This is the
+// entry point a downstream user points their own model's output at.
+func (f *Framework) EvaluateCompletion(problemNumber int, level problems.Level, completion string) (eval.Outcome, error) {
+	p := problems.ByNumber(problemNumber)
+	if p == nil {
+		return eval.Outcome{}, fmt.Errorf("core: no problem %d", problemNumber)
+	}
+	return eval.Evaluate(p, level, completion), nil
+}
+
+// SampleAndEvaluate queries a simulated model for n completions on one
+// problem and evaluates each, returning the pooled cell statistics.
+func (f *Framework) SampleAndEvaluate(id model.ID, v model.Variant, problemNumber int, level problems.Level, temperature float64, n int) (eval.CellStats, error) {
+	p := problems.ByNumber(problemNumber)
+	if p == nil {
+		return eval.CellStats{}, fmt.Errorf("core: no problem %d", problemNumber)
+	}
+	if _, ok := f.Family.Generator(id, v); !ok {
+		return eval.CellStats{}, fmt.Errorf("core: no %s variant of %s", v, id)
+	}
+	return f.Runner.Run(eval.Query{
+		Model: id, Variant: v, Problem: p,
+		Level: level, Temperature: temperature, N: n,
+	}), nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+func testFW(t *testing.T) *Framework {
+	t.Helper()
+	return New(Config{
+		Seed:        3,
+		CorpusFiles: 50,
+		Sweep:       eval.SweepOptions{N: 3, Temperatures: []float64{0.1}},
+	})
+}
+
+func TestFrameworkWiring(t *testing.T) {
+	f := testFW(t)
+	if f.Family == nil || f.Runner == nil || f.Harness == nil {
+		t.Fatal("framework incompletely wired")
+	}
+	if len(Problems()) != 17 || len(Models()) != 6 {
+		t.Fatal("catalog accessors wrong")
+	}
+}
+
+func TestEvaluateCompletionAPI(t *testing.T) {
+	f := testFW(t)
+	p := problems.ByNumber(4)
+	o, err := f.EvaluateCompletion(4, problems.LevelLow, p.RefBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Compiles || !o.Passes {
+		t.Fatalf("reference outcome = %+v", o)
+	}
+	o, err = f.EvaluateCompletion(4, problems.LevelLow, "  bogus\n")
+	if err != nil || o.Compiles {
+		t.Fatalf("broken completion outcome = %+v, err %v", o, err)
+	}
+	if _, err := f.EvaluateCompletion(99, problems.LevelLow, ""); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestSampleAndEvaluateAPI(t *testing.T) {
+	f := testFW(t)
+	st, err := f.SampleAndEvaluate(model.CodeGen16B, model.FineTuned, 2, problems.LevelLow, 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 8 {
+		t.Fatalf("samples = %d", st.Samples)
+	}
+	if st.Compiled < st.Passed {
+		t.Fatal("passed cannot exceed compiled")
+	}
+	if _, err := f.SampleAndEvaluate(model.Codex, model.FineTuned, 2, problems.LevelLow, 0.1, 1); err == nil {
+		t.Fatal("codex FT accepted")
+	}
+	if _, err := f.SampleAndEvaluate(model.Codex, model.Pretrained, 0, problems.LevelLow, 0.1, 1); err == nil {
+		t.Fatal("problem 0 accepted")
+	}
+}

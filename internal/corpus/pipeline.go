@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"regexp"
+	"strings"
+)
+
+// FilterOptions are the paper's file filters (Section III-A.a).
+type FilterOptions struct {
+	MaxFileBytes  int     // drop files at or above this size; 0 = 20000
+	ShingleK      int     // shingle width for dedup; 0 = 5
+	SignatureSize int     // MinHash signature size; 0 = 64
+	DupThreshold  float64 // similarity at which a file is a duplicate; 0 = 0.8
+}
+
+func (o FilterOptions) maxFileBytes() int {
+	if o.MaxFileBytes <= 0 {
+		return 20000
+	}
+	return o.MaxFileBytes
+}
+
+func (o FilterOptions) shingleK() int {
+	if o.ShingleK <= 0 {
+		return 5
+	}
+	return o.ShingleK
+}
+
+func (o FilterOptions) signatureSize() int {
+	if o.SignatureSize <= 0 {
+		return 64
+	}
+	return o.SignatureSize
+}
+
+func (o FilterOptions) dupThreshold() float64 {
+	if o.DupThreshold <= 0 {
+		return 0.8
+	}
+	return o.DupThreshold
+}
+
+// Stats summarize a pipeline run for the Section III-A reporting.
+type Stats struct {
+	Input         int
+	DroppedNoPair int // no module/endmodule pair
+	DroppedTooBig int // exceeded the size filter
+	DroppedDup    int // MinHash near-duplicate
+	Kept          int
+	KeptBytes     int
+}
+
+var modulePairRe = regexp.MustCompile(`(?s)\bmodule\b.*\bendmodule\b`)
+
+// HasModulePair reports whether the file contains at least one
+// module...endmodule pair (the paper's keep rule).
+func HasModulePair(content string) bool {
+	return modulePairRe.MatchString(content)
+}
+
+// Curate runs the full filter+dedup pipeline over the raw files and returns
+// the kept files and statistics.
+func Curate(files []File, opts FilterOptions) ([]File, Stats) {
+	st := Stats{Input: len(files)}
+	var candidates []File
+	for _, f := range files {
+		if !HasModulePair(f.Content) {
+			st.DroppedNoPair++
+			continue
+		}
+		if len(f.Content) >= opts.maxFileBytes() {
+			st.DroppedTooBig++
+			continue
+		}
+		candidates = append(candidates, f)
+	}
+	docs := make([]string, len(candidates))
+	for i, f := range candidates {
+		docs[i] = f.Content
+	}
+	kept := Dedup(docs, opts.shingleK(), opts.signatureSize(), opts.dupThreshold())
+	st.DroppedDup = len(candidates) - len(kept)
+	out := make([]File, 0, len(kept))
+	for _, idx := range kept {
+		out = append(out, candidates[idx])
+		st.KeptBytes += len(candidates[idx].Content)
+	}
+	st.Kept = len(out)
+	return out, st
+}
+
+// TrainingText flattens curated files into one whitespace-joined training
+// stream for the tokenizer and language model.
+func TrainingText(files []File) []string {
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = f.Content
+	}
+	return out
+}
+
+// NormalizeForLM canonicalizes Verilog text for language-model training:
+// comments dropped, whitespace collapsed, punctuation space-separated so
+// the BPE tokenizer sees a stable word stream.
+func NormalizeForLM(content string) string {
+	lineRe := regexp.MustCompile(`//[^\n]*`)
+	blockRe := regexp.MustCompile(`(?s)/\*.*?\*/`)
+	content = lineRe.ReplaceAllString(content, "")
+	content = blockRe.ReplaceAllString(content, "")
+	var sb strings.Builder
+	for _, r := range content {
+		switch r {
+		case '(', ')', '[', ']', '{', '}', ';', ',', ':', '@', '#', '=',
+			'+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '?':
+			sb.WriteByte(' ')
+			sb.WriteRune(r)
+			sb.WriteByte(' ')
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return strings.Join(strings.Fields(sb.String()), " ")
+}

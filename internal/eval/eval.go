@@ -1,0 +1,208 @@
+// Package eval implements the paper's evaluation pipeline (Sections IV-V):
+// completions are truncated at the endmodule keyword, checked for
+// compilation (parse + elaborate, the Icarus Verilog role), simulated
+// against the problem's test bench for functional correctness, and
+// aggregated into Pass@(scenario·n) values with best-temperature
+// selection.
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/problems"
+	"repro/internal/sim"
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+// Truncate cuts a completion after the first endmodule keyword, mirroring
+// the paper's truncation of generations at `end`/`endmodule`.
+func Truncate(completion string) string {
+	idx := strings.Index(completion, "endmodule")
+	if idx < 0 {
+		return completion
+	}
+	return completion[:idx+len("endmodule")] + "\n"
+}
+
+// Outcome is the verdict for one completion.
+type Outcome struct {
+	Compiles bool
+	Passes   bool
+}
+
+// Evaluate runs the full pipeline on one completion for (problem, level).
+func Evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
+	completion = Truncate(completion)
+	src := p.CompleteWith(level, completion)
+	f, err := vlog.Parse(src)
+	if err != nil {
+		return Outcome{}
+	}
+	if elab.CompileCheck(f) != nil {
+		return Outcome{}
+	}
+	full, err := vlog.Parse(src + "\n" + p.Testbench)
+	if err != nil {
+		return Outcome{Compiles: true}
+	}
+	d, err := elab.Elaborate(full, "tb", elab.Options{})
+	if err != nil {
+		return Outcome{Compiles: true}
+	}
+	res, err := sim.New(d, sim.Options{}).Run()
+	if err != nil {
+		return Outcome{Compiles: true}
+	}
+	return Outcome{Compiles: true, Passes: problems.PassVerdict(res.Output)}
+}
+
+// Runner executes queries against a model family with an outcome cache
+// (bank-sourced completions repeat heavily across cells, so most
+// evaluations are cache hits).
+type Runner struct {
+	Family *model.Family
+	Seed   int64
+
+	mu    sync.Mutex
+	cache map[cacheKey]Outcome
+}
+
+type cacheKey struct {
+	problem    int
+	level      problems.Level
+	completion string
+}
+
+// NewRunner wraps a family for evaluation.
+func NewRunner(f *model.Family, seed int64) *Runner {
+	return &Runner{Family: f, Seed: seed, cache: map[cacheKey]Outcome{}}
+}
+
+func (r *Runner) evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
+	key := cacheKey{problem: p.Number, level: level, completion: completion}
+	r.mu.Lock()
+	if o, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return o
+	}
+	r.mu.Unlock()
+	o := Evaluate(p, level, completion)
+	r.mu.Lock()
+	r.cache[key] = o
+	r.mu.Unlock()
+	return o
+}
+
+// Query identifies one evaluation cell sample request.
+type Query struct {
+	Model       model.ID
+	Variant     model.Variant
+	Problem     *problems.Problem
+	Level       problems.Level
+	Temperature float64
+	N           int
+}
+
+// CellStats aggregate the outcomes of one query.
+type CellStats struct {
+	Samples  int
+	Compiled int
+	Passed   int
+	SumLat   float64
+}
+
+// CompileRate is the fraction of completions that compiled.
+func (c CellStats) CompileRate() float64 {
+	if c.Samples == 0 {
+		return 0
+	}
+	return float64(c.Compiled) / float64(c.Samples)
+}
+
+// PassRate is the fraction of completions that passed functional tests —
+// the Pass@(scenario·n) contribution of this cell.
+func (c CellStats) PassRate() float64 {
+	if c.Samples == 0 {
+		return 0
+	}
+	return float64(c.Passed) / float64(c.Samples)
+}
+
+// MeanLatency is the mean simulated inference time per query.
+func (c CellStats) MeanLatency() float64 {
+	if c.Samples == 0 {
+		return 0
+	}
+	return c.SumLat / float64(c.Samples)
+}
+
+// Add pools another cell into this one.
+func (c *CellStats) Add(o CellStats) {
+	c.Samples += o.Samples
+	c.Compiled += o.Compiled
+	c.Passed += o.Passed
+	c.SumLat += o.SumLat
+}
+
+// Run executes one query: n completions sampled and evaluated.
+func (r *Runner) Run(q Query) CellStats {
+	gen, ok := r.Family.Generator(q.Model, q.Variant)
+	if !ok {
+		return CellStats{}
+	}
+	// seed derived from the full query coordinates for reproducibility
+	seed := r.Seed
+	seed = seed*31 + int64(len(q.Model))
+	for _, ch := range string(q.Model) {
+		seed = seed*131 + int64(ch)
+	}
+	seed = seed*31 + int64(q.Variant)
+	seed = seed*31 + int64(q.Problem.Number)
+	seed = seed*31 + int64(q.Level)
+	seed = seed*31 + int64(q.Temperature*1000)
+	seed = seed*31 + int64(q.N)
+	rng := rand.New(rand.NewSource(seed))
+
+	st := CellStats{}
+	for _, s := range gen.CompleteN(q.Problem, q.Level, q.Temperature, q.N, rng) {
+		o := r.evaluate(q.Problem, q.Level, s.Completion)
+		st.Samples++
+		if o.Compiles {
+			st.Compiled++
+		}
+		if o.Passes {
+			st.Passed++
+		}
+		st.SumLat += s.Latency
+	}
+	return st
+}
+
+// Temperatures is the paper's sweep set.
+var Temperatures = []float64{0.1, 0.3, 0.5, 0.7, 1.0}
+
+// CompletionCounts is the paper's n sweep set.
+var CompletionCounts = []int{1, 10, 25}
+
+// ModelVariant names one evaluated line of Tables III/IV.
+type ModelVariant struct {
+	Model   model.ID
+	Variant model.Variant
+}
+
+// EvaluatedVariants lists the 11 rows of Tables III/IV in paper order.
+func EvaluatedVariants() []ModelVariant {
+	var out []ModelVariant
+	for _, id := range model.IDs {
+		spec := model.Lookup(id)
+		out = append(out, ModelVariant{Model: id, Variant: model.Pretrained})
+		if spec.HasFineTuned {
+			out = append(out, ModelVariant{Model: id, Variant: model.FineTuned})
+		}
+	}
+	return out
+}

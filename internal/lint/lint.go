@@ -1,0 +1,359 @@
+// Package lint implements synthesizability and style checks over
+// elaborated designs. The paper's evaluation stops at compile + functional
+// verdicts; its predecessor study (Pearce et al., "Asleep at the
+// Keyboard") also gated completions on synthesis-style checks, and this
+// package provides that third dimension: combinational loops, incomplete
+// sensitivity lists, inferred latches, multiple drivers, and
+// blocking/nonblocking style violations.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+// Severity classifies findings.
+type Severity int
+
+// Severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	Scope    string // hierarchical instance path
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: [%s] %s", f.Severity, f.Scope, f.Rule, f.Msg)
+}
+
+// Check runs all rules over an elaborated design.
+func Check(d *elab.Design) []Finding {
+	var out []Finding
+	out = append(out, checkCombLoops(d)...)
+	out = append(out, checkMultipleDrivers(d)...)
+	for _, p := range d.Procs {
+		if p.Kind != elab.ProcAlways {
+			continue
+		}
+		ec, ok := p.Body.(*vlog.EventCtrl)
+		if !ok {
+			continue
+		}
+		if isEdgeTriggered(ec) {
+			out = append(out, checkBlockingInSequential(p, ec)...)
+		} else {
+			out = append(out, checkSensitivity(p, ec)...)
+			out = append(out, checkLatchInference(p, ec)...)
+			out = append(out, checkNonblockingInComb(p, ec)...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+func isEdgeTriggered(ec *vlog.EventCtrl) bool {
+	for _, ev := range ec.Events {
+		if ev.Edge != vlog.EdgeAny {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- rule: combinational loops ---------------------------------------------
+
+// checkCombLoops builds the continuous-assignment dependency graph per
+// scope and reports strongly-cyclic signals.
+func checkCombLoops(d *elab.Design) []Finding {
+	type node struct {
+		scope *elab.Inst
+		name  string
+	}
+	edges := map[node][]node{}
+	for _, ca := range d.Assigns {
+		lhsRoot, ok := rootIdent(ca.LHS)
+		if !ok {
+			continue
+		}
+		to := node{scope: ca.LScope, name: lhsRoot}
+		for _, dep := range identsOf(ca.RHS) {
+			edges[node{scope: ca.RScope, name: dep}] = append(edges[node{scope: ca.RScope, name: dep}], to)
+		}
+	}
+	// DFS cycle detection
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[node]int{}
+	var cycleAt []node
+	var visit func(n node)
+	visit = func(n node) {
+		color[n] = grey
+		for _, m := range edges[n] {
+			switch color[m] {
+			case white:
+				visit(m)
+			case grey:
+				cycleAt = append(cycleAt, m)
+			}
+		}
+		color[n] = black
+	}
+	var keys []node
+	for n := range edges {
+		keys = append(keys, n)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].scope != keys[j].scope {
+			return keys[i].scope.Path < keys[j].scope.Path
+		}
+		return keys[i].name < keys[j].name
+	})
+	for _, n := range keys {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+	var out []Finding
+	seen := map[node]bool{}
+	for _, n := range cycleAt {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, Finding{
+			Rule: "comb-loop", Severity: Error, Scope: n.scope.Path,
+			Msg: fmt.Sprintf("combinational feedback through %q", n.name),
+		})
+	}
+	return out
+}
+
+// ---- rule: multiple drivers -------------------------------------------------
+
+func checkMultipleDrivers(d *elab.Design) []Finding {
+	type key struct {
+		scope *elab.Inst
+		name  string
+	}
+	count := map[key]int{}
+	order := []key{}
+	for _, ca := range d.Assigns {
+		if root, ok := rootIdent(ca.LHS); ok {
+			// whole-signal drivers only; bit/part selects of the same
+			// signal from different assigns are a legal split bus
+			if _, isIdent := ca.LHS.(*vlog.Ident); !isIdent {
+				continue
+			}
+			k := key{scope: ca.LScope, name: root}
+			if count[k] == 0 {
+				order = append(order, k)
+			}
+			count[k]++
+		}
+	}
+	var out []Finding
+	for _, k := range order {
+		if count[k] > 1 {
+			out = append(out, Finding{
+				Rule: "multiple-drivers", Severity: Warning, Scope: k.scope.Path,
+				Msg: fmt.Sprintf("%q has %d continuous drivers", k.name, count[k]),
+			})
+		}
+	}
+	return out
+}
+
+// ---- rule: incomplete sensitivity list ---------------------------------------
+
+func checkSensitivity(p *elab.Proc, ec *vlog.EventCtrl) []Finding {
+	if ec.Star {
+		return nil
+	}
+	listed := map[string]bool{}
+	for _, ev := range ec.Events {
+		for _, id := range identsOf(ev.X) {
+			listed[id] = true
+		}
+	}
+	reads := map[string]bool{}
+	for _, id := range stmtReads(ec.Stmt) {
+		reads[id] = true
+	}
+	// exclude things the block itself assigns (read-after-write within the
+	// block is not a sensitivity concern) and non-signals
+	writes := stmtWrites(ec.Stmt)
+	var missing []string
+	for id := range reads {
+		if listed[id] || writes[id] {
+			continue
+		}
+		if _, ok := p.Scope.Signals[id]; !ok {
+			continue // parameters and memories
+		}
+		missing = append(missing, id)
+	}
+	sort.Strings(missing)
+	var out []Finding
+	for _, id := range missing {
+		out = append(out, Finding{
+			Rule: "incomplete-sensitivity", Severity: Warning, Scope: p.Scope.Path,
+			Msg: fmt.Sprintf("signal %q is read but not in the sensitivity list", id),
+		})
+	}
+	return out
+}
+
+// ---- rule: latch inference ---------------------------------------------------
+
+func checkLatchInference(p *elab.Proc, ec *vlog.EventCtrl) []Finding {
+	all := stmtWrites(ec.Stmt)
+	always := alwaysAssigned(ec.Stmt)
+	var names []string
+	for id := range all {
+		if !always[id] {
+			names = append(names, id)
+		}
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, id := range names {
+		out = append(out, Finding{
+			Rule: "latch-inference", Severity: Warning, Scope: p.Scope.Path,
+			Msg: fmt.Sprintf("%q is not assigned on every path through the combinational block (latch inferred)", id),
+		})
+	}
+	return out
+}
+
+// alwaysAssigned computes the set of identifiers assigned on every control
+// path through the statement.
+func alwaysAssigned(s vlog.Stmt) map[string]bool {
+	switch n := s.(type) {
+	case *vlog.Assign:
+		out := map[string]bool{}
+		if root, ok := rootIdent(n.LHS); ok {
+			out[root] = true
+		}
+		if c, ok := n.LHS.(*vlog.Concat); ok {
+			for _, part := range c.Parts {
+				if root, ok := rootIdent(part); ok {
+					out[root] = true
+				}
+			}
+		}
+		return out
+	case *vlog.Block:
+		out := map[string]bool{}
+		for _, sub := range n.Stmts {
+			for id := range alwaysAssigned(sub) {
+				out[id] = true
+			}
+		}
+		return out
+	case *vlog.If:
+		if n.Else == nil {
+			return map[string]bool{}
+		}
+		return intersect(alwaysAssigned(n.Then), alwaysAssigned(n.Else))
+	case *vlog.Case:
+		hasDefault := false
+		var sets []map[string]bool
+		for _, item := range n.Items {
+			if item.Exprs == nil {
+				hasDefault = true
+			}
+			sets = append(sets, alwaysAssigned(item.Body))
+		}
+		if !hasDefault || len(sets) == 0 {
+			return map[string]bool{}
+		}
+		acc := sets[0]
+		for _, s2 := range sets[1:] {
+			acc = intersect(acc, s2)
+		}
+		return acc
+	case *vlog.EventCtrl:
+		return alwaysAssigned(n.Stmt)
+	case *vlog.Delay:
+		return alwaysAssigned(n.Stmt)
+	default:
+		return map[string]bool{}
+	}
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// ---- rules: assignment style --------------------------------------------------
+
+func checkBlockingInSequential(p *elab.Proc, ec *vlog.EventCtrl) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	eachAssign(ec.Stmt, func(a *vlog.Assign) {
+		if a.NonBlocking {
+			return
+		}
+		root, ok := rootIdent(a.LHS)
+		if !ok || seen[root] {
+			return
+		}
+		seen[root] = true
+		out = append(out, Finding{
+			Rule: "blocking-in-sequential", Severity: Warning, Scope: p.Scope.Path,
+			Msg: fmt.Sprintf("blocking assignment to %q in an edge-triggered block", root),
+		})
+	})
+	return out
+}
+
+func checkNonblockingInComb(p *elab.Proc, ec *vlog.EventCtrl) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	eachAssign(ec.Stmt, func(a *vlog.Assign) {
+		if !a.NonBlocking {
+			return
+		}
+		root, ok := rootIdent(a.LHS)
+		if !ok || seen[root] {
+			return
+		}
+		seen[root] = true
+		out = append(out, Finding{
+			Rule: "nonblocking-in-combinational", Severity: Warning, Scope: p.Scope.Path,
+			Msg: fmt.Sprintf("nonblocking assignment to %q in a combinational block", root),
+		})
+	})
+	return out
+}

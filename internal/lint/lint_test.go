@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/problems"
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+func lintSrc(t *testing.T, src, top string) []Finding {
+	t.Helper()
+	f, err := vlog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := elab.Elaborate(f, top, elab.Options{})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return Check(d)
+}
+
+func hasRule(fs []Finding, rule string) bool {
+	for _, f := range fs {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCombLoopDetected(t *testing.T) {
+	fs := lintSrc(t, `module m;
+  wire a, b;
+  assign a = ~b;
+  assign b = ~a;
+endmodule`, "m")
+	if !hasRule(fs, "comb-loop") {
+		t.Fatalf("loop not found: %v", fs)
+	}
+}
+
+func TestNoCombLoopOnChain(t *testing.T) {
+	fs := lintSrc(t, `module m(input x);
+  wire a, b;
+  assign a = ~x;
+  assign b = ~a;
+endmodule`, "m")
+	if hasRule(fs, "comb-loop") {
+		t.Fatalf("false loop: %v", fs)
+	}
+}
+
+func TestMultipleDrivers(t *testing.T) {
+	fs := lintSrc(t, `module m(input a, input b);
+  wire y;
+  assign y = a;
+  assign y = b;
+endmodule`, "m")
+	if !hasRule(fs, "multiple-drivers") {
+		t.Fatalf("multiple drivers not found: %v", fs)
+	}
+}
+
+func TestIncompleteSensitivity(t *testing.T) {
+	fs := lintSrc(t, `module m(input a, input b, output reg y);
+  always @(a) y = a & b;
+endmodule`, "m")
+	found := false
+	for _, f := range fs {
+		if f.Rule == "incomplete-sensitivity" && strings.Contains(f.Msg, `"b"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing b not reported: %v", fs)
+	}
+	// complete list is clean
+	fs = lintSrc(t, `module m(input a, input b, output reg y);
+  always @(a or b) y = a & b;
+endmodule`, "m")
+	if hasRule(fs, "incomplete-sensitivity") {
+		t.Fatalf("false positive: %v", fs)
+	}
+}
+
+func TestStarSensitivityClean(t *testing.T) {
+	fs := lintSrc(t, `module m(input a, input b, output reg y);
+  always @(*) y = a & b;
+endmodule`, "m")
+	if hasRule(fs, "incomplete-sensitivity") {
+		t.Fatalf("@(*) flagged: %v", fs)
+	}
+}
+
+func TestLatchInference(t *testing.T) {
+	fs := lintSrc(t, `module m(input en, input d, output reg q);
+  always @(*) if (en) q = d;
+endmodule`, "m")
+	if !hasRule(fs, "latch-inference") {
+		t.Fatalf("latch not found: %v", fs)
+	}
+	// full if/else is clean
+	fs = lintSrc(t, `module m(input en, input d, output reg q);
+  always @(*) if (en) q = d; else q = 0;
+endmodule`, "m")
+	if hasRule(fs, "latch-inference") {
+		t.Fatalf("false latch: %v", fs)
+	}
+}
+
+func TestLatchInferenceCase(t *testing.T) {
+	// case without default infers a latch
+	fs := lintSrc(t, `module m(input [1:0] s, output reg q);
+  always @(*) case (s)
+    2'd0: q = 0;
+    2'd1: q = 1;
+  endcase
+endmodule`, "m")
+	if !hasRule(fs, "latch-inference") {
+		t.Fatalf("case latch not found: %v", fs)
+	}
+	fs = lintSrc(t, `module m(input [1:0] s, output reg q);
+  always @(*) case (s)
+    2'd0: q = 0;
+    default: q = 1;
+  endcase
+endmodule`, "m")
+	if hasRule(fs, "latch-inference") {
+		t.Fatalf("false case latch: %v", fs)
+	}
+}
+
+func TestBlockingInSequential(t *testing.T) {
+	fs := lintSrc(t, `module m(input clk, input d, output reg q);
+  always @(posedge clk) q = d;
+endmodule`, "m")
+	if !hasRule(fs, "blocking-in-sequential") {
+		t.Fatalf("blocking style not found: %v", fs)
+	}
+}
+
+func TestNonblockingInComb(t *testing.T) {
+	fs := lintSrc(t, `module m(input a, output reg y);
+  always @(*) y <= a;
+endmodule`, "m")
+	if !hasRule(fs, "nonblocking-in-combinational") {
+		t.Fatalf("nonblocking style not found: %v", fs)
+	}
+}
+
+func TestReferenceSolutionsMostlyClean(t *testing.T) {
+	// benchmark references must carry no lint *errors* (warnings such as
+	// Fig. 2's @(in) sensitivity idiom are tolerated, as in the paper)
+	for _, p := range problems.All() {
+		f, err := vlog.Parse(p.ReferenceSource())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := elab.Elaborate(f, p.ModuleName, elab.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fd := range Check(d) {
+			if fd.Severity == Error {
+				t.Errorf("problem %d reference has lint error: %s", p.Number, fd)
+			}
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "x", Severity: Error, Scope: "top", Msg: "boom"}
+	if got := f.String(); !strings.Contains(got, "error") || !strings.Contains(got, "boom") {
+		t.Fatalf("String = %q", got)
+	}
+	if Warning.String() != "warning" {
+		t.Fatal("warning string")
+	}
+}
+
+func TestFindingsDeterministicOrder(t *testing.T) {
+	src := `module m(input a, input b, input c, output reg x, output reg y);
+  always @(a) begin
+    x = b;
+    y = c;
+  end
+endmodule`
+	a := lintSrc(t, src, "m")
+	b := lintSrc(t, src, "m")
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

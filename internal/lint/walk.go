@@ -1,0 +1,157 @@
+package lint
+
+import "repro/internal/vlog"
+
+// AST walking helpers shared by the lint rules.
+
+func identsOf(e vlog.Expr) []string {
+	var out []string
+	var walk func(vlog.Expr)
+	walk = func(x vlog.Expr) {
+		switch n := x.(type) {
+		case nil:
+			return
+		case *vlog.Ident:
+			out = append(out, n.Name)
+		case *vlog.Unary:
+			walk(n.X)
+		case *vlog.Binary:
+			walk(n.X)
+			walk(n.Y)
+		case *vlog.Ternary:
+			walk(n.Cond)
+			walk(n.Then)
+			walk(n.Else)
+		case *vlog.Concat:
+			for _, p := range n.Parts {
+				walk(p)
+			}
+		case *vlog.Repl:
+			walk(n.X)
+		case *vlog.Index:
+			walk(n.X)
+			walk(n.I)
+		case *vlog.RangeSel:
+			walk(n.X)
+		case *vlog.SysCallExpr:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+func rootIdent(e vlog.Expr) (string, bool) {
+	switch n := e.(type) {
+	case *vlog.Ident:
+		return n.Name, true
+	case *vlog.Index:
+		return rootIdent(n.X)
+	case *vlog.RangeSel:
+		return rootIdent(n.X)
+	default:
+		return "", false
+	}
+}
+
+func eachStmt(s vlog.Stmt, visit func(vlog.Stmt)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	switch n := s.(type) {
+	case *vlog.Block:
+		for _, sub := range n.Stmts {
+			eachStmt(sub, visit)
+		}
+	case *vlog.If:
+		eachStmt(n.Then, visit)
+		eachStmt(n.Else, visit)
+	case *vlog.Case:
+		for _, item := range n.Items {
+			eachStmt(item.Body, visit)
+		}
+	case *vlog.For:
+		eachStmt(n.Init, visit)
+		eachStmt(n.Step, visit)
+		eachStmt(n.Body, visit)
+	case *vlog.While:
+		eachStmt(n.Body, visit)
+	case *vlog.Repeat:
+		eachStmt(n.Body, visit)
+	case *vlog.Forever:
+		eachStmt(n.Body, visit)
+	case *vlog.Delay:
+		eachStmt(n.Stmt, visit)
+	case *vlog.EventCtrl:
+		eachStmt(n.Stmt, visit)
+	case *vlog.Wait:
+		eachStmt(n.Stmt, visit)
+	}
+}
+
+func eachAssign(s vlog.Stmt, visit func(*vlog.Assign)) {
+	eachStmt(s, func(st vlog.Stmt) {
+		if a, ok := st.(*vlog.Assign); ok {
+			visit(a)
+		}
+	})
+}
+
+// stmtReads returns every identifier read anywhere in the statement
+// (right-hand sides, conditions, indexes).
+func stmtReads(s vlog.Stmt) []string {
+	var out []string
+	eachStmt(s, func(st vlog.Stmt) {
+		switch n := st.(type) {
+		case *vlog.Assign:
+			out = append(out, identsOf(n.RHS)...)
+			// index expressions on the LHS are reads
+			switch l := n.LHS.(type) {
+			case *vlog.Index:
+				out = append(out, identsOf(l.I)...)
+			}
+		case *vlog.If:
+			out = append(out, identsOf(n.Cond)...)
+		case *vlog.Case:
+			out = append(out, identsOf(n.Expr)...)
+			for _, item := range n.Items {
+				for _, e := range item.Exprs {
+					out = append(out, identsOf(e)...)
+				}
+			}
+		case *vlog.While:
+			out = append(out, identsOf(n.Cond)...)
+		case *vlog.Repeat:
+			out = append(out, identsOf(n.Count)...)
+		case *vlog.Wait:
+			out = append(out, identsOf(n.Cond)...)
+		case *vlog.SysCall:
+			for _, a := range n.Args {
+				out = append(out, identsOf(a)...)
+			}
+		}
+	})
+	return out
+}
+
+// stmtWrites returns the set of identifiers assigned anywhere in the
+// statement.
+func stmtWrites(s vlog.Stmt) map[string]bool {
+	out := map[string]bool{}
+	eachAssign(s, func(a *vlog.Assign) {
+		if root, ok := rootIdent(a.LHS); ok {
+			out[root] = true
+		}
+		if c, ok := a.LHS.(*vlog.Concat); ok {
+			for _, part := range c.Parts {
+				if root, ok := rootIdent(part); ok {
+					out[root] = true
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,11 @@
+package mutate
+
+import (
+	"repro/internal/vnum"
+)
+
+// parseLit parses a Verilog literal into a value (thin wrapper kept local
+// so operator code reads naturally).
+func parseLit(text string) (vnum.Value, error) {
+	return vnum.ParseLiteral(text)
+}

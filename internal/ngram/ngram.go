@@ -1,0 +1,194 @@
+// Package ngram implements an order-k backoff n-gram language model over
+// token ids, with temperature-controlled sampling. It is the trainable
+// generative core of the simulated LLMs: "fine-tuning" a model on the
+// Verilog corpus is literally training this LM on the corpus token stream,
+// and the free-running completions it produces are what flow through the
+// compile/functional pipeline when a model emits neither a correct nor a
+// near-miss solution.
+package ngram
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model is an order-k n-gram LM with stupid-backoff smoothing.
+type Model struct {
+	order  int
+	counts []map[string]*dist // counts[n] holds (n-token context) -> next-token distribution
+	vocab  map[int]bool
+	total  int
+}
+
+type dist struct {
+	next  map[int]int
+	total int
+}
+
+// New creates an untrained model of the given order (order >= 1; order 1 is
+// a unigram model).
+func New(order int) *Model {
+	if order < 1 {
+		order = 1
+	}
+	m := &Model{order: order, vocab: map[int]bool{}}
+	m.counts = make([]map[string]*dist, order)
+	for i := range m.counts {
+		m.counts[i] = map[string]*dist{}
+	}
+	return m
+}
+
+// Order returns the model order.
+func (m *Model) Order() int { return m.order }
+
+// VocabSeen returns how many distinct tokens the model has observed.
+func (m *Model) VocabSeen() int { return len(m.vocab) }
+
+// TokensTrained returns the total number of training tokens consumed.
+func (m *Model) TokensTrained() int { return m.total }
+
+func ctxKey(toks []int) string {
+	// compact byte key; token ids fit in 3 bytes for our vocabularies
+	b := make([]byte, 0, len(toks)*3)
+	for _, t := range toks {
+		b = append(b, byte(t), byte(t>>8), byte(t>>16))
+	}
+	return string(b)
+}
+
+// Train consumes one token sequence (a document).
+func (m *Model) Train(tokens []int) {
+	for i, tok := range tokens {
+		m.vocab[tok] = true
+		m.total++
+		for n := 0; n < m.order; n++ {
+			if i < n {
+				break
+			}
+			key := ctxKey(tokens[i-n : i])
+			d := m.counts[n][key]
+			if d == nil {
+				d = &dist{next: map[int]int{}}
+				m.counts[n][key] = d
+			}
+			d.next[tok]++
+			d.total++
+		}
+	}
+}
+
+// contextDist finds the longest-context distribution for the given history
+// (stupid backoff).
+func (m *Model) contextDist(history []int) *dist {
+	for n := m.order - 1; n >= 0; n-- {
+		if len(history) < n {
+			continue
+		}
+		key := ctxKey(history[len(history)-n:])
+		if d, ok := m.counts[n][key]; ok && d.total > 0 {
+			return d
+		}
+	}
+	return nil
+}
+
+// Sample draws the next token given history at the given temperature.
+// Temperature 0 is greedy; higher temperatures flatten the distribution.
+// The boolean is false when the model has no distribution at all (untrained).
+func (m *Model) Sample(history []int, temperature float64, rng *rand.Rand) (int, bool) {
+	d := m.contextDist(history)
+	if d == nil {
+		return 0, false
+	}
+	if temperature <= 0 {
+		best, bestCount := 0, -1
+		for tok, c := range d.next {
+			if c > bestCount || (c == bestCount && tok < best) {
+				best, bestCount = tok, c
+			}
+		}
+		return best, true
+	}
+	// softmax over log counts scaled by 1/temperature, computed stably
+	cands := make([]scoredTok, 0, len(d.next))
+	maxLog := math.Inf(-1)
+	for tok, c := range d.next {
+		l := math.Log(float64(c)) / temperature
+		if l > maxLog {
+			maxLog = l
+		}
+		cands = append(cands, scoredTok{tok: tok, w: l})
+	}
+	// deterministic order for reproducible sampling
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].tok < cands[j-1].tok; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	total := 0.0
+	for i := range cands {
+		cands[i].w = math.Exp(cands[i].w - maxLog)
+		total += cands[i].w
+	}
+	r := rng.Float64() * total
+	for _, c := range cands {
+		r -= c.w
+		if r <= 0 {
+			return c.tok, true
+		}
+	}
+	return cands[len(cands)-1].tok, true
+}
+
+type scoredTok struct {
+	tok int
+	w   float64
+}
+
+// Generate produces up to maxTokens tokens continuing the prompt.
+func (m *Model) Generate(prompt []int, maxTokens int, temperature float64, rng *rand.Rand) []int {
+	history := append([]int(nil), prompt...)
+	var out []int
+	for len(out) < maxTokens {
+		tok, ok := m.Sample(history, temperature, rng)
+		if !ok {
+			break
+		}
+		out = append(out, tok)
+		history = append(history, tok)
+	}
+	return out
+}
+
+// Perplexity computes the per-token perplexity of a sequence under the
+// model with stupid backoff (unseen tokens cost a uniform floor over the
+// seen vocabulary).
+func (m *Model) Perplexity(tokens []int) float64 {
+	if len(tokens) == 0 || len(m.vocab) == 0 {
+		return math.Inf(1)
+	}
+	logSum := 0.0
+	for i, tok := range tokens {
+		var p float64
+		hist := tokens[:i]
+		d := m.contextDist(hist)
+		if d != nil {
+			if c, ok := d.next[tok]; ok && c > 0 {
+				p = float64(c) / float64(d.total)
+			}
+		}
+		if p == 0 {
+			p = 0.5 / float64(len(m.vocab)+d0total(d))
+		}
+		logSum += math.Log(p)
+	}
+	return math.Exp(-logSum / float64(len(tokens)))
+}
+
+func d0total(d *dist) int {
+	if d == nil {
+		return 1
+	}
+	return d.total
+}

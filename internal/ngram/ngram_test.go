@@ -1,0 +1,130 @@
+package ngram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seq(vals ...int) []int { return vals }
+
+func TestTrainAndGreedySample(t *testing.T) {
+	m := New(3)
+	// "a b c" repeated: after [1 2] always 3
+	for i := 0; i < 10; i++ {
+		m.Train(seq(1, 2, 3, 1, 2, 3, 1, 2, 3))
+	}
+	tok, ok := m.Sample(seq(1, 2), 0, rand.New(rand.NewSource(1)))
+	if !ok || tok != 3 {
+		t.Fatalf("sample = %d, %v", tok, ok)
+	}
+}
+
+func TestBackoffToShorterContext(t *testing.T) {
+	m := New(3)
+	m.Train(seq(1, 2, 3, 4, 5))
+	// context [9 9] never seen: back off; unigram still answers
+	_, ok := m.Sample(seq(9, 9), 0, rand.New(rand.NewSource(1)))
+	if !ok {
+		t.Fatal("backoff failed to produce a token")
+	}
+}
+
+func TestUntrainedModelHasNoSample(t *testing.T) {
+	m := New(2)
+	if _, ok := m.Sample(nil, 0.5, rand.New(rand.NewSource(1))); ok {
+		t.Fatal("untrained model produced a token")
+	}
+}
+
+func TestGenerateLengthAndDeterminism(t *testing.T) {
+	m := New(4)
+	data := make([]int, 500)
+	r := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = r.Intn(20)
+	}
+	m.Train(data)
+	g1 := m.Generate(seq(1, 2), 50, 0.8, rand.New(rand.NewSource(7)))
+	g2 := m.Generate(seq(1, 2), 50, 0.8, rand.New(rand.NewSource(7)))
+	if len(g1) != 50 {
+		t.Fatalf("generated %d tokens", len(g1))
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("generation not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestTemperatureSpreadsChoices(t *testing.T) {
+	m := New(2)
+	// after 1: mostly 2, occasionally 3
+	for i := 0; i < 95; i++ {
+		m.Train(seq(1, 2))
+	}
+	for i := 0; i < 5; i++ {
+		m.Train(seq(1, 3))
+	}
+	count3 := func(temp float64) int {
+		rng := rand.New(rand.NewSource(11))
+		n := 0
+		for i := 0; i < 1000; i++ {
+			tok, _ := m.Sample(seq(1), temp, rng)
+			if tok == 3 {
+				n++
+			}
+		}
+		return n
+	}
+	low := count3(0.2)
+	high := count3(2.0)
+	if !(low < high) {
+		t.Fatalf("temperature did not spread: low=%d high=%d", low, high)
+	}
+	if g, _ := m.Sample(seq(1), 0, rand.New(rand.NewSource(1))); g != 2 {
+		t.Fatalf("greedy picked %d", g)
+	}
+}
+
+func TestPerplexityLowerOnTrainingDistribution(t *testing.T) {
+	m := New(3)
+	var train []int
+	for i := 0; i < 200; i++ {
+		train = append(train, 1, 2, 3, 4)
+	}
+	m.Train(train)
+	inDist := m.Perplexity(seq(1, 2, 3, 4, 1, 2, 3, 4))
+	outDist := m.Perplexity(seq(4, 3, 2, 1, 4, 3, 2, 1))
+	if !(inDist < outDist) {
+		t.Fatalf("perplexity in=%f out=%f", inDist, outDist)
+	}
+	if math.IsInf(New(2).Perplexity(seq(1)), 0) != true {
+		t.Fatal("untrained perplexity should be +Inf")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	m := New(2)
+	m.Train(seq(5, 6, 7))
+	if m.Order() != 2 {
+		t.Errorf("order = %d", m.Order())
+	}
+	if m.VocabSeen() != 3 {
+		t.Errorf("vocab = %d", m.VocabSeen())
+	}
+	if m.TokensTrained() != 3 {
+		t.Errorf("tokens = %d", m.TokensTrained())
+	}
+}
+
+func TestOrderClampedToOne(t *testing.T) {
+	m := New(0)
+	if m.Order() != 1 {
+		t.Fatalf("order = %d", m.Order())
+	}
+	m.Train(seq(1, 1, 1))
+	if tok, ok := m.Sample(nil, 0, rand.New(rand.NewSource(1))); !ok || tok != 1 {
+		t.Fatalf("unigram sample = %d, %v", tok, ok)
+	}
+}

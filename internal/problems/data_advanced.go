@@ -1,0 +1,423 @@
+package problems
+
+// Problems 13-17: Advanced difficulty (Table II).
+
+func init() {
+	register(&Problem{
+		Number:      13,
+		Slug:        "signed-adder",
+		ModuleName:  "sadd8",
+		Difficulty:  Advanced,
+		Description: "Signed 8-bit adder with overflow",
+		promptL: `// This is a signed 8-bit adder with an overflow output.
+module sadd8(input signed [7:0] a, input signed [7:0] b, output signed [7:0] s, output ovf);
+`,
+		promptM: `// This is a signed 8-bit adder with an overflow output.
+// s is the two's complement sum of a and b.
+// ovf is high when the signed addition overflows.
+module sadd8(input signed [7:0] a, input signed [7:0] b, output signed [7:0] s, output ovf);
+`,
+		promptH: `// This is a signed 8-bit adder with an overflow output.
+// s is the two's complement sum of a and b.
+// ovf is high when the signed addition overflows.
+// Overflow occurs when a and b have the same sign bit and the sign bit of
+// s differs from it: ovf = (a[7] == b[7]) && (s[7] != a[7]).
+module sadd8(input signed [7:0] a, input signed [7:0] b, output signed [7:0] s, output ovf);
+`,
+		RefBody: `  assign s = a + b;
+  assign ovf = (a[7] == b[7]) && (s[7] != a[7]);
+endmodule
+`,
+		Testbench: `module tb;
+  reg signed [7:0] a, b;
+  wire signed [7:0] s;
+  wire ovf;
+  reg signed [7:0] expect_s;
+  reg expect_ovf;
+  integer i, errors;
+  sadd8 dut(.a(a), .b(b), .s(s), .ovf(ovf));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 40; i = i + 1) begin
+      case (i % 8)
+        0: begin a = 8'sd100; b = 8'sd100; end
+        1: begin a = 8'sd127; b = 8'sd1; end
+        2: begin a = -8'sd128; b = -8'sd1; end
+        3: begin a = 8'sd3; b = 8'sd4; end
+        4: begin a = -8'sd100; b = 8'sd50; end
+        5: begin a = -8'sd100; b = -8'sd100; end
+        6: begin a = 8'sd0; b = 8'sd0; end
+        default: begin a = i[7:0]; b = 8'd255 - i[7:0]; end
+      endcase
+      expect_s = a + b;
+      expect_ovf = (a[7] == b[7]) && (expect_s[7] != a[7]);
+      #1 begin
+        if (s !== expect_s) begin
+          errors = errors + 1;
+          $display("FAIL a=%d b=%d s=%d expect=%d", a, b, s, expect_s);
+        end
+        if (ovf !== expect_ovf) begin
+          errors = errors + 1;
+          $display("FAIL a=%d b=%d ovf=%b expect=%b", a, b, ovf, expect_ovf);
+        end
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      14,
+		Slug:        "counter-enable",
+		ModuleName:  "counter_en",
+		Difficulty:  Advanced,
+		Description: "Counter with enable signal",
+		promptL: `// This is a 4-bit counter with an enable signal.
+module counter_en(input clk, input reset, input en, output reg [3:0] q);
+`,
+		promptM: `// This is a 4-bit counter with an enable signal.
+// On reset q goes to 0.
+// On each rising clock edge, q increments only when en is high; it holds
+// its value when en is low. The counter wraps from 15 back to 0.
+module counter_en(input clk, input reset, input en, output reg [3:0] q);
+`,
+		promptH: `// This is a 4-bit counter with an enable signal.
+// On reset q goes to 0.
+// On each rising clock edge, q increments only when en is high; it holds
+// its value when en is low. The counter wraps from 15 back to 0.
+// At posedge clk: if reset is high, q gets 0.
+// Else if en is high, q gets q + 1 (natural 4-bit wrap-around).
+// Else q is unchanged.
+module counter_en(input clk, input reset, input en, output reg [3:0] q);
+`,
+		RefBody: `  always @(posedge clk) begin
+    if (reset) q <= 4'd0;
+    else if (en) q <= q + 4'd1;
+  end
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, reset, en;
+  wire [3:0] q;
+  reg [3:0] model;
+  integer i, errors;
+  counter_en dut(.clk(clk), .reset(reset), .en(en), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1; en = 0; errors = 0;
+    @(posedge clk);
+    #1 if (q !== 4'd0) begin
+      errors = errors + 1;
+      $display("FAIL after reset q=%d", q);
+    end
+    reset = 0;
+    model = 4'd0;
+    for (i = 0; i < 40; i = i + 1) begin
+      en = (i % 3 != 0);
+      #1;
+      @(posedge clk);
+      if (en) model = model + 4'd1;
+      #1 if (q !== model) begin
+        errors = errors + 1;
+        $display("FAIL step %0d en=%b q=%d expect=%d", i, en, q, model);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      15,
+		Slug:        "fsm-101",
+		ModuleName:  "adv_fsm",
+		Difficulty:  Advanced,
+		Description: "FSM to recognize '101'",
+		promptL: `// This is a finite state machine that recognizes the sequence 101 on the input signal x.
+module adv_fsm(input clk, input reset, input x, output z);
+  reg [1:0] present_state, next_state;
+  parameter IDLE=0, S1=1, S10=2, S101=3;
+`,
+		promptM: `// This is a finite state machine that recognizes the sequence 101 on the input signal x.
+// output signal z is asserted to 1 when present_state is S101
+// present_state is reset to IDLE when reset is high,
+// otherwise it is assigned next_state
+module adv_fsm(input clk, input reset, input x, output z);
+  reg [1:0] present_state, next_state;
+  parameter IDLE=0, S1=1, S10=2, S101=3;
+`,
+		promptH: `// This is a finite state machine that recognizes the sequence 101 on the input signal x.
+// output signal z is asserted to 1 when present_state is S101
+// present_state is reset to IDLE when reset is high,
+// otherwise it is assigned next_state
+// if present_state is IDLE, next_state is assigned S1 if
+// x is 1, otherwise next_state stays at IDLE
+// if present_state is S1, next_state is assigned S10 if
+// x is 0, otherwise next_state stays at IDLE
+// if present_state is S10, next_state is assigned S101 if
+// x is 1, otherwise next_state stays at IDLE
+// if present_state is S101, next_state is assigned IDLE
+module adv_fsm(input clk, input reset, input x, output z);
+  reg [1:0] present_state, next_state;
+  parameter IDLE=0, S1=1, S10=2, S101=3;
+`,
+		RefBody: `  always @(posedge clk or posedge reset) begin
+    if (reset) present_state <= IDLE;
+    else present_state <= next_state;
+  end
+  always @(present_state or x) begin
+    case (present_state)
+      IDLE: next_state = x ? S1 : IDLE;
+      S1: next_state = x ? IDLE : S10;
+      S10: next_state = x ? S101 : IDLE;
+      S101: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+  assign z = (present_state == S101);
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, reset, x;
+  wire z;
+  reg [1:0] model;
+  reg expect;
+  integer i, errors;
+  reg [15:0] stimulus;
+  adv_fsm dut(.clk(clk), .reset(reset), .x(x), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1; x = 0; errors = 0;
+    stimulus = 16'b1011_0101_1101_0010;
+    @(posedge clk);
+    #1 if (z !== 1'b0) begin
+      errors = errors + 1;
+      $display("FAIL after reset z=%b", z);
+    end
+    reset = 0;
+    model = 2'd0;
+    for (i = 15; i >= 0; i = i - 1) begin
+      x = stimulus[i];
+      #1;
+      @(posedge clk);
+      case (model)
+        2'd0: model = x ? 2'd1 : 2'd0;
+        2'd1: model = x ? 2'd0 : 2'd2;
+        2'd2: model = x ? 2'd3 : 2'd0;
+        2'd3: model = 2'd0;
+      endcase
+      expect = (model == 2'd3);
+      #1 if (z !== expect) begin
+        errors = errors + 1;
+        $display("FAIL step %0d x=%b z=%b expect=%b", i, x, z, expect);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      16,
+		Slug:        "ashift64",
+		ModuleName:  "ashift64",
+		Difficulty:  Advanced,
+		Description: "64-bit arithmetic shift register",
+		promptL: `// This is a 64-bit arithmetic shift register.
+module ashift64(input clk, input load, input signed [63:0] din, output reg signed [63:0] q);
+`,
+		promptM: `// This is a 64-bit arithmetic shift register.
+// On the rising clock edge, when load is high q is loaded with din.
+// Otherwise q shifts right arithmetically by one (the sign bit is replicated).
+module ashift64(input clk, input load, input signed [63:0] din, output reg signed [63:0] q);
+`,
+		promptH: `// This is a 64-bit arithmetic shift register.
+// On the rising clock edge, when load is high q is loaded with din.
+// Otherwise q shifts right arithmetically by one (the sign bit is replicated).
+// At posedge clk: if load is high, q gets din.
+// Else q gets q >>> 1 (arithmetic shift right by one).
+module ashift64(input clk, input load, input signed [63:0] din, output reg signed [63:0] q);
+`,
+		RefBody: `  always @(posedge clk) begin
+    if (load) q <= din;
+    else q <= q >>> 1;
+  end
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, load;
+  reg signed [63:0] din;
+  wire signed [63:0] q;
+  reg signed [63:0] model;
+  integer i, errors;
+  ashift64 dut(.clk(clk), .load(load), .din(din), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; errors = 0;
+    load = 1;
+    din = 64'h8000_0000_0000_0001;
+    @(posedge clk);
+    #1 if (q !== 64'h8000_0000_0000_0001) begin
+      errors = errors + 1;
+      $display("FAIL load q=%h", q);
+    end
+    load = 0;
+    model = 64'h8000_0000_0000_0001;
+    for (i = 0; i < 70; i = i + 1) begin
+      @(posedge clk);
+      model = model >>> 1;
+      #1 if (q !== model) begin
+        errors = errors + 1;
+        $display("FAIL step %0d q=%h expect=%h", i, q, model);
+      end
+    end
+    load = 1;
+    din = 64'sd12345;
+    #1;
+    @(posedge clk);
+    #1 load = 0;
+    model = 64'sd12345;
+    for (i = 0; i < 20; i = i + 1) begin
+      @(posedge clk);
+      model = model >>> 1;
+      #1 if (q !== model) begin
+        errors = errors + 1;
+        $display("FAIL pos step %0d q=%h expect=%h", i, q, model);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      17,
+		Slug:        "abro",
+		ModuleName:  "abro",
+		Difficulty:  Advanced,
+		Description: "ABRO FSM",
+		promptL: `// This is an FSM
+// It outputs 1 when 1 is received for signals a and b irrespective of their
+// order, either simultaneously or non-simultaneously.
+module abro(input clk, input reset, input a, input b, output z);
+  parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+  reg [1:0] cur_state, next_state;
+`,
+		promptM: `// This is an FSM
+// It outputs 1 when 1 is received for signals a and b irrespective of their
+// order, either simultaneously or non-simultaneously.
+// Update state or reset on every clock edge
+// Output z depends only on the state SAB
+// The output z is high when cur_state is SAB
+// cur_state is reset to IDLE when reset is high. Otherwise, it takes value of next_state.
+module abro(input clk, input reset, input a, input b, output z);
+  parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+  reg [1:0] cur_state, next_state;
+`,
+		promptH: `// This is an FSM
+// It outputs 1 when 1 is received for signals a and b irrespective of their
+// order, either simultaneously or non-simultaneously.
+// Update state or reset on every clock edge
+// Output z depends only on the state SAB
+// The output z is high when cur_state is SAB
+// cur_state is reset to IDLE when reset is high. Otherwise, it takes value of next_state.
+// Next state generation logic:
+// If cur_state is IDLE and a and b are both high, state changes to SAB
+// If cur_state is IDLE, and a is high, state changes to SA
+// If cur_state is IDLE, and b is high, state changes to SB
+// If cur_state is SA, and b is high, state changes to SAB
+// If cur_state is SB, and a is high, state changes to SAB
+// If cur_state is SAB, state changes to IDLE
+module abro(input clk, input reset, input a, input b, output z);
+  parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+  reg [1:0] cur_state, next_state;
+`,
+		RefBody: `  always @(posedge clk or posedge reset) begin
+    if (reset) cur_state <= IDLE;
+    else cur_state <= next_state;
+  end
+  always @(cur_state or a or b) begin
+    case (cur_state)
+      IDLE: begin
+        if (a && b) next_state = SAB;
+        else if (a) next_state = SA;
+        else if (b) next_state = SB;
+        else next_state = IDLE;
+      end
+      SA: begin
+        if (b) next_state = SAB;
+        else next_state = SA;
+      end
+      SB: begin
+        if (a) next_state = SAB;
+        else next_state = SB;
+      end
+      SAB: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+  assign z = (cur_state == SAB);
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, reset, a, b;
+  wire z;
+  reg [1:0] model;
+  reg expect;
+  integer i, errors;
+  reg [11:0] astim, bstim;
+  abro dut(.clk(clk), .reset(reset), .a(a), .b(b), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1; a = 0; b = 0; errors = 0;
+    astim = 12'b1000_1100_0110;
+    bstim = 12'b0100_1010_0110;
+    @(posedge clk);
+    #1 if (z !== 1'b0) begin
+      errors = errors + 1;
+      $display("FAIL after reset z=%b", z);
+    end
+    reset = 0;
+    model = 2'd0;
+    for (i = 11; i >= 0; i = i - 1) begin
+      a = astim[i];
+      b = bstim[i];
+      #1;
+      @(posedge clk);
+      case (model)
+        2'd0: begin
+          if (a && b) model = 2'd3;
+          else if (a) model = 2'd1;
+          else if (b) model = 2'd2;
+        end
+        2'd1: if (b) model = 2'd3;
+        2'd2: if (a) model = 2'd3;
+        2'd3: model = 2'd0;
+      endcase
+      expect = (model == 2'd3);
+      #1 if (z !== expect) begin
+        errors = errors + 1;
+        $display("FAIL step %0d a=%b b=%b z=%b expect=%b", i, a, b, z, expect);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+}

@@ -1,0 +1,193 @@
+package problems
+
+// Problems 1-4: Basic difficulty (Table II).
+
+func init() {
+	register(&Problem{
+		Number:      1,
+		Slug:        "simple-wire",
+		ModuleName:  "simple_wire",
+		Difficulty:  Basic,
+		Description: "A simple wire",
+		promptL: `// This is a simple wire.
+module simple_wire(input in, output out);
+`,
+		promptM: `// This is a simple wire.
+// The output out should always equal the input in.
+module simple_wire(input in, output out);
+`,
+		promptH: `// This is a simple wire.
+// The output out should always equal the input in.
+// Use a continuous assignment to connect in to out.
+module simple_wire(input in, output out);
+`,
+		RefBody: `  assign out = in;
+endmodule
+`,
+		Testbench: `module tb;
+  reg in;
+  wire out;
+  integer errors;
+  simple_wire dut(.in(in), .out(out));
+  initial begin
+    errors = 0;
+    in = 0;
+    #1 if (out !== 1'b0) begin errors = errors + 1; $display("FAIL in=0 out=%b", out); end
+    in = 1;
+    #1 if (out !== 1'b1) begin errors = errors + 1; $display("FAIL in=1 out=%b", out); end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      2,
+		Slug:        "and-gate",
+		ModuleName:  "and_gate",
+		Difficulty:  Basic,
+		Description: "A 2-input and gate",
+		promptL: `// This is a 2-input and gate.
+module and_gate(input a, input b, output y);
+`,
+		promptM: `// This is a 2-input and gate.
+// The output y is high only when both a and b are high.
+module and_gate(input a, input b, output y);
+`,
+		promptH: `// This is a 2-input and gate.
+// The output y is high only when both a and b are high.
+// Use a continuous assignment: y is the bitwise and of a and b.
+module and_gate(input a, input b, output y);
+`,
+		RefBody: `  assign y = a & b;
+endmodule
+`,
+		Testbench: `module tb;
+  reg a, b;
+  wire y;
+  integer i, errors;
+  and_gate dut(.a(a), .b(b), .y(y));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 4; i = i + 1) begin
+      a = i[1];
+      b = i[0];
+      #1 if (y !== (a & b)) begin
+        errors = errors + 1;
+        $display("FAIL a=%b b=%b y=%b", a, b, y);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      3,
+		Slug:        "priority-encoder",
+		ModuleName:  "priority_encoder",
+		Difficulty:  Basic,
+		Description: "A 3-bit priority encoder",
+		promptL: `// This is a 3-bit priority encoder. It outputs the position of the first high bit.
+module priority_encoder(input [2:0] in, output reg [1:0] pos);
+`,
+		promptM: `// This is a 3-bit priority encoder. It outputs the position of the first high bit.
+// If none of the input bits are high (i.e., input is zero), output zero.
+// Assign the position of the lowest high bit of in to pos.
+module priority_encoder(input [2:0] in, output reg [1:0] pos);
+`,
+		promptH: `// This is a 3-bit priority encoder. It outputs the position of the first high bit.
+// If none of the input bits are high (i.e., input is zero), output zero.
+// Assign the position of the lowest high bit of in to pos.
+// If in[0] is high, pos is 0.
+// Else if in[1] is high, pos is 1.
+// Else if in[2] is high, pos is 2.
+// Otherwise pos is 0.
+module priority_encoder(input [2:0] in, output reg [1:0] pos);
+`,
+		RefBody: `  always @(in)
+    if (in == 0) pos = 2'h0;
+    else if (in[0]) pos = 2'h0;
+    else if (in[1]) pos = 2'h1;
+    else pos = 2'h2;
+endmodule
+`,
+		Testbench: `module tb;
+  reg [2:0] in;
+  wire [1:0] pos;
+  reg [1:0] expect;
+  integer i, errors;
+  priority_encoder dut(.in(in), .pos(pos));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      in = i[2:0];
+      if (in == 0) expect = 2'd0;
+      else if (in[0]) expect = 2'd0;
+      else if (in[1]) expect = 2'd1;
+      else expect = 2'd2;
+      #1 if (pos !== expect) begin
+        errors = errors + 1;
+        $display("FAIL in=%b pos=%d expect=%d", in, pos, expect);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      4,
+		Slug:        "mux2",
+		ModuleName:  "mux2",
+		Difficulty:  Basic,
+		Description: "A 2-input multiplexer",
+		promptL: `// This is a 2-input multiplexer.
+module mux2(input a, input b, input sel, output y);
+`,
+		promptM: `// This is a 2-input multiplexer.
+// When sel is low the output y follows a; when sel is high y follows b.
+module mux2(input a, input b, input sel, output y);
+`,
+		promptH: `// This is a 2-input multiplexer.
+// When sel is low the output y follows a; when sel is high y follows b.
+// Use a conditional (ternary) continuous assignment on sel.
+module mux2(input a, input b, input sel, output y);
+`,
+		RefBody: `  assign y = sel ? b : a;
+endmodule
+`,
+		Testbench: `module tb;
+  reg a, b, sel;
+  wire y;
+  reg expect;
+  integer i, errors;
+  mux2 dut(.a(a), .b(b), .sel(sel), .y(y));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      a = i[0];
+      b = i[1];
+      sel = i[2];
+      expect = sel ? b : a;
+      #1 if (y !== expect) begin
+        errors = errors + 1;
+        $display("FAIL a=%b b=%b sel=%b y=%b", a, b, sel, y);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+}

@@ -1,0 +1,500 @@
+package problems
+
+// Problems 5-12: Intermediate difficulty (Table II).
+
+func init() {
+	register(&Problem{
+		Number:      5,
+		Slug:        "half-adder",
+		ModuleName:  "half_adder",
+		Difficulty:  Intermediate,
+		Description: "A half adder",
+		promptL: `// This is a half adder.
+module half_adder(input a, input b, output sum, output carry);
+`,
+		promptM: `// This is a half adder.
+// sum is the single-bit sum of a and b; carry is high when both a and b are high.
+module half_adder(input a, input b, output sum, output carry);
+`,
+		promptH: `// This is a half adder.
+// sum is the single-bit sum of a and b; carry is high when both a and b are high.
+// sum is the xor of a and b.
+// carry is the and of a and b.
+module half_adder(input a, input b, output sum, output carry);
+`,
+		RefBody: `  assign {carry, sum} = a + b;
+endmodule
+`,
+		Testbench: `module tb;
+  reg a, b;
+  wire sum, carry;
+  integer i, errors;
+  half_adder dut(.a(a), .b(b), .sum(sum), .carry(carry));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 4; i = i + 1) begin
+      a = i[0];
+      b = i[1];
+      #1 begin
+        if (sum !== (a ^ b)) begin
+          errors = errors + 1;
+          $display("FAIL a=%b b=%b sum=%b", a, b, sum);
+        end
+        if (carry !== (a & b)) begin
+          errors = errors + 1;
+          $display("FAIL a=%b b=%b carry=%b", a, b, carry);
+        end
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      6,
+		Slug:        "counter-1-12",
+		ModuleName:  "counter",
+		Difficulty:  Intermediate,
+		Description: "A 1-to-12 counter",
+		promptL: `// This is a counter that counts from 1 to 12.
+module counter(input clk, input reset, output reg [3:0] q);
+`,
+		promptM: `// This is a counter that counts from 1 to 12.
+// On reset the counter value q goes to 1.
+// On each rising clock edge q increments, and after 12 it wraps back to 1.
+module counter(input clk, input reset, output reg [3:0] q);
+`,
+		promptH: `// This is a counter that counts from 1 to 12.
+// On reset the counter value q goes to 1.
+// On each rising clock edge q increments, and after 12 it wraps back to 1.
+// At posedge clk: if reset is high, q gets 1.
+// Else if q equals 12, q gets 1.
+// Else q gets q + 1.
+module counter(input clk, input reset, output reg [3:0] q);
+`,
+		RefBody: `  always @(posedge clk) begin
+    if (reset) q <= 4'd1;
+    else if (q == 4'd12) q <= 4'd1;
+    else q <= q + 4'd1;
+  end
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, reset;
+  wire [3:0] q;
+  reg [3:0] expect;
+  integer i, errors;
+  counter dut(.clk(clk), .reset(reset), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1; errors = 0;
+    @(posedge clk);
+    #1 if (q !== 4'd1) begin
+      errors = errors + 1;
+      $display("FAIL after reset q=%d", q);
+    end
+    reset = 0;
+    expect = 4'd1;
+    for (i = 0; i < 26; i = i + 1) begin
+      @(posedge clk);
+      if (expect == 4'd12) expect = 4'd1;
+      else expect = expect + 4'd1;
+      #1 if (q !== expect) begin
+        errors = errors + 1;
+        $display("FAIL step %0d q=%d expect=%d", i, q, expect);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      7,
+		Slug:        "lfsr",
+		ModuleName:  "lfsr",
+		Difficulty:  Intermediate,
+		Description: "LFSR with taps at 3 and 5",
+		promptL: `// This is a 5-bit linear feedback shift register with taps at positions 3 and 5.
+module lfsr(input clk, input reset, output reg [4:0] q);
+`,
+		promptM: `// This is a 5-bit linear feedback shift register with taps at positions 3 and 5.
+// On reset q goes to 5'b00001.
+// On each rising clock edge the register shifts left by one and the new
+// least significant bit is the xor of bit 3 and bit 5 (q[2] and q[4]).
+module lfsr(input clk, input reset, output reg [4:0] q);
+`,
+		promptH: `// This is a 5-bit linear feedback shift register with taps at positions 3 and 5.
+// On reset q goes to 5'b00001.
+// On each rising clock edge the register shifts left by one and the new
+// least significant bit is the xor of bit 3 and bit 5 (q[2] and q[4]).
+// At posedge clk: if reset is high, q gets 5'b00001.
+// Else q gets the concatenation of q[3:0] and (q[2] xor q[4]).
+module lfsr(input clk, input reset, output reg [4:0] q);
+`,
+		RefBody: `  always @(posedge clk) begin
+    if (reset) q <= 5'b00001;
+    else q <= {q[3:0], q[2] ^ q[4]};
+  end
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, reset;
+  wire [4:0] q;
+  reg [4:0] model;
+  integer i, errors;
+  lfsr dut(.clk(clk), .reset(reset), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1; errors = 0;
+    @(posedge clk);
+    #1 if (q !== 5'b00001) begin
+      errors = errors + 1;
+      $display("FAIL after reset q=%b", q);
+    end
+    reset = 0;
+    model = 5'b00001;
+    for (i = 0; i < 40; i = i + 1) begin
+      @(posedge clk);
+      model = {model[3:0], model[2] ^ model[4]};
+      #1 if (q !== model) begin
+        errors = errors + 1;
+        $display("FAIL step %0d q=%b expect=%b", i, q, model);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      8,
+		Slug:        "fsm2",
+		ModuleName:  "fsm2",
+		Difficulty:  Intermediate,
+		Description: "FSM with two states",
+		promptL: `// This is a finite state machine with two states.
+module fsm2(input clk, input reset, input x, output z);
+  parameter S0 = 0, S1 = 1;
+  reg state;
+`,
+		promptM: `// This is a finite state machine with two states.
+// The machine starts in state S0 on reset.
+// When x is high the machine toggles between S0 and S1 on each clock edge.
+// The output z is high while the machine is in state S1.
+module fsm2(input clk, input reset, input x, output z);
+  parameter S0 = 0, S1 = 1;
+  reg state;
+`,
+		promptH: `// This is a finite state machine with two states.
+// The machine starts in state S0 on reset.
+// When x is high the machine toggles between S0 and S1 on each clock edge.
+// The output z is high while the machine is in state S1.
+// At posedge clk or posedge reset: if reset is high, state gets S0.
+// Else if x is high, state toggles; otherwise state is unchanged.
+// Assign z to (state == S1).
+module fsm2(input clk, input reset, input x, output z);
+  parameter S0 = 0, S1 = 1;
+  reg state;
+`,
+		RefBody: `  always @(posedge clk or posedge reset) begin
+    if (reset) state <= S0;
+    else if (x) state <= ~state;
+  end
+  assign z = (state == S1);
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, reset, x;
+  wire z;
+  reg model;
+  integer i, errors;
+  fsm2 dut(.clk(clk), .reset(reset), .x(x), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1; x = 0; errors = 0;
+    @(posedge clk);
+    #1 if (z !== 1'b0) begin
+      errors = errors + 1;
+      $display("FAIL after reset z=%b", z);
+    end
+    reset = 0;
+    model = 0;
+    for (i = 0; i < 16; i = i + 1) begin
+      x = i[0] | i[1];
+      #1;
+      @(posedge clk);
+      if (x) model = ~model;
+      #1 if (z !== model) begin
+        errors = errors + 1;
+        $display("FAIL step %0d z=%b expect=%b", i, z, model);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      9,
+		Slug:        "shift-rotate",
+		ModuleName:  "shift_rotate",
+		Difficulty:  Intermediate,
+		Description: "Shift left and rotate",
+		promptL: `// This module shifts left or rotates left an 8-bit value.
+module shift_rotate(input [7:0] in, input [2:0] amt, input mode, output reg [7:0] out);
+`,
+		promptM: `// This module shifts left or rotates left an 8-bit value.
+// When mode is low, out is in shifted left by amt bit positions (zero fill).
+// When mode is high, out is in rotated left by amt bit positions.
+module shift_rotate(input [7:0] in, input [2:0] amt, input mode, output reg [7:0] out);
+`,
+		promptH: `// This module shifts left or rotates left an 8-bit value.
+// When mode is low, out is in shifted left by amt bit positions (zero fill).
+// When mode is high, out is in rotated left by amt bit positions.
+// For the rotate, the bits shifted out on the left re-enter on the right:
+// out = (in << amt) | (in >> (8 - amt)).
+module shift_rotate(input [7:0] in, input [2:0] amt, input mode, output reg [7:0] out);
+`,
+		RefBody: `  always @(*) begin
+    if (mode) out = (in << amt) | (in >> (4'd8 - amt));
+    else out = in << amt;
+  end
+endmodule
+`,
+		Testbench: `module tb;
+  reg [7:0] in;
+  reg [2:0] amt;
+  reg mode;
+  wire [7:0] out;
+  reg [7:0] expect;
+  integer i, j, errors;
+  shift_rotate dut(.in(in), .amt(amt), .mode(mode), .out(out));
+  initial begin
+    errors = 0;
+    in = 8'b1011_0010;
+    for (i = 0; i < 8; i = i + 1) begin
+      amt = i[2:0];
+      mode = 0;
+      expect = in << amt;
+      #1 if (out !== expect) begin
+        errors = errors + 1;
+        $display("FAIL shift amt=%d out=%b expect=%b", amt, out, expect);
+      end
+      mode = 1;
+      expect = (in << amt) | (in >> (4'd8 - amt));
+      #1 if (out !== expect) begin
+        errors = errors + 1;
+        $display("FAIL rotate amt=%d out=%b expect=%b", amt, out, expect);
+      end
+    end
+    for (j = 0; j < 8; j = j + 1) begin
+      in = j[0] ? 8'h5A : 8'hC3;
+      amt = j[2:0];
+      mode = 1;
+      expect = (in << amt) | (in >> (4'd8 - amt));
+      #1 if (out !== expect) begin
+        errors = errors + 1;
+        $display("FAIL rotate2 amt=%d out=%b expect=%b", amt, out, expect);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      10,
+		Slug:        "ram",
+		ModuleName:  "ram",
+		Difficulty:  Intermediate,
+		Description: "Random Access Memory",
+		promptL: `// This is a synchronous random access memory with 8-bit data and 6-bit addresses.
+module ram(input clk, input we, input [5:0] addr, input [7:0] din, output reg [7:0] dout);
+  reg [7:0] mem [63:0];
+`,
+		promptM: `// This is a synchronous random access memory with 8-bit data and 6-bit addresses.
+// On the rising clock edge, when we is high the value din is written to mem at addr.
+// On every rising clock edge dout is loaded with the value stored at addr
+// (the old value when a write happens at the same edge).
+module ram(input clk, input we, input [5:0] addr, input [7:0] din, output reg [7:0] dout);
+  reg [7:0] mem [63:0];
+`,
+		promptH: `// This is a synchronous random access memory with 8-bit data and 6-bit addresses.
+// On the rising clock edge, when we is high the value din is written to mem at addr.
+// On every rising clock edge dout is loaded with the value stored at addr
+// (the old value when a write happens at the same edge).
+// At posedge clk: if we is high, mem[addr] gets din (nonblocking).
+// dout gets mem[addr] (nonblocking), so it reads the pre-write value.
+module ram(input clk, input we, input [5:0] addr, input [7:0] din, output reg [7:0] dout);
+  reg [7:0] mem [63:0];
+`,
+		RefBody: `  always @(posedge clk) begin
+    if (we) mem[addr] <= din;
+    dout <= mem[addr];
+  end
+endmodule
+`,
+		Testbench: `module tb;
+  reg clk, we;
+  reg [5:0] addr;
+  reg [7:0] din;
+  wire [7:0] dout;
+  integer i, errors;
+  ram dut(.clk(clk), .we(we), .addr(addr), .din(din), .dout(dout));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; we = 0; errors = 0;
+    // write pattern addr*2+1 to addresses 0..15
+    for (i = 0; i < 16; i = i + 1) begin
+      @(posedge clk);
+      #1 we = 1;
+      addr = i[5:0];
+      din = i[7:0] * 8'd2 + 8'd1;
+    end
+    @(posedge clk);
+    #1 we = 0;
+    // read back
+    for (i = 0; i < 16; i = i + 1) begin
+      addr = i[5:0];
+      @(posedge clk);
+      #1 if (dout !== (i[7:0] * 8'd2 + 8'd1)) begin
+        errors = errors + 1;
+        $display("FAIL addr=%d dout=%d expect=%d", addr, dout, i[7:0] * 8'd2 + 8'd1);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      11,
+		Slug:        "permutation",
+		ModuleName:  "permute",
+		Difficulty:  Intermediate,
+		Description: "Permutation",
+		promptL: `// This module applies a fixed permutation to the bits of an 8-bit input.
+module permute(input [7:0] in, output [7:0] out);
+`,
+		promptM: `// This module applies a fixed permutation to the bits of an 8-bit input.
+// The permutation is: out[7]=in[3], out[6]=in[7], out[5]=in[0], out[4]=in[5],
+// out[3]=in[1], out[2]=in[6], out[1]=in[2], out[0]=in[4].
+module permute(input [7:0] in, output [7:0] out);
+`,
+		promptH: `// This module applies a fixed permutation to the bits of an 8-bit input.
+// The permutation is: out[7]=in[3], out[6]=in[7], out[5]=in[0], out[4]=in[5],
+// out[3]=in[1], out[2]=in[6], out[1]=in[2], out[0]=in[4].
+// Use a continuous assignment of the concatenation
+// {in[3], in[7], in[0], in[5], in[1], in[6], in[2], in[4]} to out.
+module permute(input [7:0] in, output [7:0] out);
+`,
+		RefBody: `  assign out = {in[3], in[7], in[0], in[5], in[1], in[6], in[2], in[4]};
+endmodule
+`,
+		Testbench: `module tb;
+  reg [7:0] in;
+  wire [7:0] out;
+  reg [7:0] expect;
+  integer i, errors;
+  permute dut(.in(in), .out(out));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 256; i = i + 1) begin
+      in = i[7:0];
+      expect = {in[3], in[7], in[0], in[5], in[1], in[6], in[2], in[4]};
+      #1 if (out !== expect) begin
+        errors = errors + 1;
+        $display("FAIL in=%b out=%b expect=%b", in, out, expect);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+
+	register(&Problem{
+		Number:      12,
+		Slug:        "truth-table",
+		ModuleName:  "truthtable",
+		Difficulty:  Intermediate,
+		Description: "Truth table",
+		promptL: `// This module implements the boolean function f(a, b, c) given by a truth table.
+module truthtable(input a, input b, input c, output reg f);
+`,
+		promptM: `// This module implements the boolean function f(a, b, c) given by this truth table:
+// a b c | f
+// 0 0 0 | 0
+// 0 0 1 | 1
+// 0 1 0 | 0
+// 0 1 1 | 1
+// 1 0 0 | 0
+// 1 0 1 | 0
+// 1 1 0 | 1
+// 1 1 1 | 1
+module truthtable(input a, input b, input c, output reg f);
+`,
+		promptH: `// This module implements the boolean function f(a, b, c) given by this truth table:
+// a b c | f
+// 0 0 0 | 0
+// 0 0 1 | 1
+// 0 1 0 | 0
+// 0 1 1 | 1
+// 1 0 0 | 0
+// 1 0 1 | 0
+// 1 1 0 | 1
+// 1 1 1 | 1
+// In sum-of-products form: f = (~a & c) | (a & b).
+module truthtable(input a, input b, input c, output reg f);
+`,
+		RefBody: `  always @(*) f = (~a & c) | (a & b);
+endmodule
+`,
+		Testbench: `module tb;
+  reg a, b, c;
+  wire f;
+  reg expect;
+  integer i, errors;
+  truthtable dut(.a(a), .b(b), .c(c), .f(f));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      a = i[2];
+      b = i[1];
+      c = i[0];
+      expect = (~a & c) | (a & b);
+      #1 if (f !== expect) begin
+        errors = errors + 1;
+        $display("FAIL a=%b b=%b c=%b f=%b expect=%b", a, b, c, f, expect);
+      end
+    end
+    if (errors == 0) $display("RESULT: PASS");
+    else $display("RESULT: FAIL");
+    $finish;
+  end
+endmodule
+`,
+	})
+}

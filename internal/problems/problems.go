@@ -1,0 +1,153 @@
+// Package problems defines the paper's 17-problem Verilog benchmark
+// (Table II): per problem a difficulty class, three prompt-detail levels
+// (L/M/H, Section IV-B), a reference solution, and a self-checking Verilog
+// test bench (Section IV-C). Test benches print per-check FAIL lines and a
+// final "RESULT: PASS" / "RESULT: FAIL" verdict that the evaluation
+// harness inspects.
+package problems
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Difficulty is the problem difficulty class from Table II.
+type Difficulty int
+
+// Difficulty levels.
+const (
+	Basic Difficulty = iota
+	Intermediate
+	Advanced
+)
+
+func (d Difficulty) String() string {
+	switch d {
+	case Basic:
+		return "Basic"
+	case Intermediate:
+		return "Intermediate"
+	default:
+		return "Advanced"
+	}
+}
+
+// Level is the prompt description level from Section IV-B.
+type Level int
+
+// Prompt description levels: low, medium, high detail.
+const (
+	LevelLow Level = iota
+	LevelMedium
+	LevelHigh
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelLow:
+		return "L"
+	case LevelMedium:
+		return "M"
+	default:
+		return "H"
+	}
+}
+
+// Levels lists all prompt levels in order.
+var Levels = []Level{LevelLow, LevelMedium, LevelHigh}
+
+// Difficulties lists all difficulty classes in order.
+var Difficulties = []Difficulty{Basic, Intermediate, Advanced}
+
+// Problem is one benchmark problem.
+type Problem struct {
+	Number      int
+	Slug        string
+	ModuleName  string
+	Difficulty  Difficulty
+	Description string // Table II description
+
+	promptL string
+	promptM string
+	promptH string
+
+	// RefBody completes any of the three prompts into the reference
+	// module (the prompts differ only in comment detail and all end at
+	// the same structural point).
+	RefBody string
+
+	// Testbench is a self-checking bench whose top module is named "tb".
+	Testbench string
+}
+
+// Prompt returns the prompt text at the given detail level.
+func (p *Problem) Prompt(l Level) string {
+	switch l {
+	case LevelLow:
+		return p.promptL
+	case LevelMedium:
+		return p.promptM
+	default:
+		return p.promptH
+	}
+}
+
+// ReferenceSource returns the complete reference module.
+func (p *Problem) ReferenceSource() string {
+	return p.promptL + p.RefBody
+}
+
+// CompleteWith returns prompt(level) + completion, the full candidate
+// source a model produces for this problem.
+func (p *Problem) CompleteWith(l Level, completion string) string {
+	return p.Prompt(l) + completion
+}
+
+// All returns the 17 problems in Table II order.
+func All() []*Problem {
+	out := make([]*Problem, 0, len(registry))
+	for i := range registry {
+		if registry[i] != nil {
+			out = append(out, registry[i])
+		}
+	}
+	return out
+}
+
+// ByNumber returns problem n (1-based), or nil.
+func ByNumber(n int) *Problem {
+	if n < 1 || n > len(registry) {
+		return nil
+	}
+	return registry[n-1]
+}
+
+// ByDifficulty returns the problems in one difficulty class.
+func ByDifficulty(d Difficulty) []*Problem {
+	var out []*Problem
+	for _, p := range All() {
+		if p.Difficulty == d {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PassVerdict scans test-bench output for the final verdict line.
+func PassVerdict(output string) bool {
+	return strings.Contains(output, "RESULT: PASS") && !strings.Contains(output, "RESULT: FAIL")
+}
+
+// registry holds the problems indexed by Number-1; init order across data
+// files is arbitrary, so registration is slot-based.
+var registry [17]*Problem
+
+func register(p *Problem) {
+	if p.Number < 1 || p.Number > len(registry) {
+		panic(fmt.Sprintf("problems: %q has invalid number %d", p.Slug, p.Number))
+	}
+	if registry[p.Number-1] != nil {
+		panic(fmt.Sprintf("problems: duplicate registration of number %d", p.Number))
+	}
+	registry[p.Number-1] = p
+}

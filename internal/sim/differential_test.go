@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+// Differential test: random combinational expressions are run through the
+// full pipeline (parse -> elaborate -> continuous assign -> simulate ->
+// $display) and compared against an independent Go evaluation of the same
+// expression tree. The generator restricts itself to context-transparent
+// operators plus constant shifts and selects, so the golden semantics are
+// plain uint64 arithmetic at the assignment width.
+
+const diffWidth = 16
+
+type goldenFn func(a, b, c uint64) uint64
+
+const diffMask = uint64(1)<<diffWidth - 1
+
+// genDiffExpr builds a random expression string over 8-bit inputs a, b, c
+// together with its golden evaluator at the 16-bit assignment width.
+func genDiffExpr(rng *rand.Rand, depth int) (string, goldenFn) {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return "a", func(a, b, c uint64) uint64 { return a }
+		case 1:
+			return "b", func(a, b, c uint64) uint64 { return b }
+		case 2:
+			return "c", func(a, b, c uint64) uint64 { return c }
+		case 3:
+			k := rng.Intn(200)
+			return fmt.Sprintf("16'd%d", k), func(a, b, c uint64) uint64 { return uint64(k) }
+		case 4:
+			bit := rng.Intn(8)
+			return fmt.Sprintf("a[%d]", bit), func(a, b, c uint64) uint64 { return a >> uint(bit) & 1 }
+		default:
+			hi := 2 + rng.Intn(6)
+			lo := rng.Intn(hi)
+			mask := uint64(1)<<uint(hi-lo+1) - 1
+			return fmt.Sprintf("b[%d:%d]", hi, lo), func(a, b, c uint64) uint64 { return b >> uint(lo) & mask }
+		}
+	}
+	switch rng.Intn(8) {
+	case 0, 1:
+		xs, xf := genDiffExpr(rng, depth-1)
+		ys, yf := genDiffExpr(rng, depth-1)
+		ops := []struct {
+			s string
+			f func(x, y uint64) uint64
+		}{
+			{"+", func(x, y uint64) uint64 { return (x + y) & diffMask }},
+			{"-", func(x, y uint64) uint64 { return (x - y) & diffMask }},
+			{"*", func(x, y uint64) uint64 { return (x * y) & diffMask }},
+			{"&", func(x, y uint64) uint64 { return x & y }},
+			{"|", func(x, y uint64) uint64 { return x | y }},
+			{"^", func(x, y uint64) uint64 { return x ^ y }},
+		}
+		op := ops[rng.Intn(len(ops))]
+		return fmt.Sprintf("(%s %s %s)", xs, op.s, ys),
+			func(a, b, c uint64) uint64 { return op.f(xf(a, b, c), yf(a, b, c)) }
+	case 2:
+		xs, xf := genDiffExpr(rng, depth-1)
+		return fmt.Sprintf("(~%s)", xs),
+			func(a, b, c uint64) uint64 { return ^xf(a, b, c) & diffMask }
+	case 3:
+		// constant shift of a sub-expression; the shift applies at the
+		// full 16-bit context width
+		xs, xf := genDiffExpr(rng, depth-1)
+		sh := rng.Intn(12)
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s << %d)", xs, sh),
+				func(a, b, c uint64) uint64 { return xf(a, b, c) << uint(sh) & diffMask }
+		}
+		return fmt.Sprintf("(%s >> %d)", xs, sh),
+			func(a, b, c uint64) uint64 { return xf(a, b, c) >> uint(sh) }
+	case 4:
+		// ternary with a comparison condition. Relational operands are
+		// self-determined in Verilog, so each side is explicitly widened
+		// with "+ 16'd0" to pin the comparison to the golden's 16 bits.
+		xs, xf := genDiffExpr(rng, depth-1)
+		ys, yf := genDiffExpr(rng, depth-1)
+		ts, tf := genDiffExpr(rng, depth-1)
+		es, ef := genDiffExpr(rng, depth-1)
+		return fmt.Sprintf("(((%s + 16'd0) < (%s + 16'd0)) ? %s : %s)", xs, ys, ts, es),
+			func(a, b, c uint64) uint64 {
+				if xf(a, b, c) < yf(a, b, c) {
+					return tf(a, b, c)
+				}
+				return ef(a, b, c)
+			}
+	default:
+		return genDiffExpr(rng, depth-1)
+	}
+}
+
+func TestDifferentialCombinationalExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 120; trial++ {
+		exprStr, golden := genDiffExpr(rng, 3)
+		av := rng.Uint64() & 0xFF
+		bv := rng.Uint64() & 0xFF
+		cv := rng.Uint64() & 0xFF
+		src := fmt.Sprintf(`module dut(input [7:0] a, input [7:0] b, input [7:0] c, output [%d:0] y);
+  assign y = %s;
+endmodule
+module tb;
+  reg [7:0] a, b, c;
+  wire [%d:0] y;
+  dut d(.a(a), .b(b), .c(c), .y(y));
+  initial begin
+    a = 8'd%d; b = 8'd%d; c = 8'd%d;
+    #1 $display("y=%%d", y);
+  end
+endmodule`, diffWidth-1, exprStr, diffWidth-1, av, bv, cv)
+
+		f, err := vlog.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\nexpr: %s", trial, err, exprStr)
+		}
+		d, err := elab.Elaborate(f, "tb", elab.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: elaborate: %v\nexpr: %s", trial, err, exprStr)
+		}
+		res, err := New(d, Options{}).Run()
+		if err != nil {
+			t.Fatalf("trial %d: simulate: %v\nexpr: %s", trial, err, exprStr)
+		}
+		want := golden(av, bv, cv) & diffMask
+		wantLine := fmt.Sprintf("y=%d\n", want)
+		if res.Output != wantLine {
+			t.Fatalf("trial %d: expr %s with a=%d b=%d c=%d:\n got %q\nwant %q",
+				trial, exprStr, av, bv, cv, res.Output, wantLine)
+		}
+	}
+}
+
+// TestDifferentialSequentialAccumulator cross-checks a clocked accumulator
+// against a Go model over a random stimulus stream.
+func TestDifferentialSequentialAccumulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(8)
+		stim := make([]uint64, n)
+		for i := range stim {
+			stim[i] = rng.Uint64() & 0xFF
+		}
+		var checks strings.Builder
+		acc := uint64(0)
+		for i, s := range stim {
+			acc = (acc + s) & 0xFFFF
+			fmt.Fprintf(&checks, "    d = 8'd%d;\n    #1;\n    @(posedge clk);\n    #1 if (sum !== 16'd%d) $display(\"MISMATCH step %d got %%d want %d\", sum);\n", s, acc, i, acc)
+		}
+		src := fmt.Sprintf(`module accum(input clk, input reset, input [7:0] d, output reg [15:0] sum);
+  always @(posedge clk) begin
+    if (reset) sum <= 16'd0;
+    else sum <= sum + d;
+  end
+endmodule
+module tb;
+  reg clk, reset;
+  reg [7:0] d;
+  wire [15:0] sum;
+  accum u(.clk(clk), .reset(reset), .d(d), .sum(sum));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1; d = 0;
+    @(posedge clk);
+    #1 reset = 0;
+%s    $display("DONE");
+    $finish;
+  end
+endmodule`, checks.String())
+
+		f, err := vlog.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		d, err := elab.Elaborate(f, "tb", elab.Options{})
+		if err != nil {
+			t.Fatalf("elaborate: %v", err)
+		}
+		res, err := New(d, Options{}).Run()
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		if strings.Contains(res.Output, "MISMATCH") || !strings.Contains(res.Output, "DONE") {
+			t.Fatalf("trial %d accumulator diverged:\n%s", trial, res.Output)
+		}
+	}
+}

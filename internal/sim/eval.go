@@ -1,0 +1,527 @@
+package sim
+
+import (
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+	"repro/internal/vnum"
+)
+
+// This file implements runtime expression evaluation with IEEE 1364 width
+// and signedness propagation: the width of a context-determined expression
+// is the maximum of its self-determined width and the assignment context;
+// the expression is signed only if every context operand is signed, and in
+// an unsigned expression signed operands are treated as unsigned.
+
+// selfWidth computes the self-determined width of an expression.
+func (s *Simulator) selfWidth(e vlog.Expr, in *elab.Inst) int {
+	switch n := e.(type) {
+	case *vlog.Number:
+		return n.Value.Width()
+	case *vlog.Str:
+		w := 8 * len(n.Text)
+		if w == 0 {
+			w = 8
+		}
+		return w
+	case *vlog.Ident:
+		if st := s.sig(in, n.Name); st != nil {
+			return st.decl.Width
+		}
+		if p, ok := in.Params[n.Name]; ok {
+			return p.Width()
+		}
+		return 1
+	case *vlog.Index:
+		if id, ok := n.X.(*vlog.Ident); ok {
+			if ms := s.mem(in, id.Name); ms != nil {
+				return ms.decl.Width
+			}
+		}
+		return 1
+	case *vlog.RangeSel:
+		msb, lsb, ok := s.constBounds(n, in)
+		if !ok {
+			return 1
+		}
+		w := msb - lsb
+		if w < 0 {
+			w = -w
+		}
+		return w + 1
+	case *vlog.Unary:
+		switch n.Op {
+		case "+", "-", "~":
+			return s.selfWidth(n.X, in)
+		default: // reductions and !
+			return 1
+		}
+	case *vlog.Binary:
+		switch n.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+			a, b := s.selfWidth(n.X, in), s.selfWidth(n.Y, in)
+			if a > b {
+				return a
+			}
+			return b
+		case "<<", ">>", ">>>", "<<<", "**":
+			return s.selfWidth(n.X, in)
+		default: // relational, equality, logical
+			return 1
+		}
+	case *vlog.Ternary:
+		a, b := s.selfWidth(n.Then, in), s.selfWidth(n.Else, in)
+		if a > b {
+			return a
+		}
+		return b
+	case *vlog.Concat:
+		total := 0
+		for _, p := range n.Parts {
+			total += s.selfWidth(p, in)
+		}
+		if total == 0 {
+			total = 1
+		}
+		return total
+	case *vlog.Repl:
+		cnt := 1
+		if v, err := elab.ConstEval(n.Count, in); err == nil {
+			if u, ok := v.Uint64(); ok {
+				cnt = int(u)
+			}
+		}
+		return cnt * s.selfWidth(n.X, in)
+	case *vlog.SysCallExpr:
+		switch n.Name {
+		case "$time", "$stime":
+			return 64
+		case "$random", "$urandom", "$clog2":
+			return 32
+		case "$signed", "$unsigned":
+			if len(n.Args) == 1 {
+				return s.selfWidth(n.Args[0], in)
+			}
+		}
+		return 32
+	default:
+		return 1
+	}
+}
+
+// selfSigned computes the self-determined signedness of an expression.
+func (s *Simulator) selfSigned(e vlog.Expr, in *elab.Inst) bool {
+	switch n := e.(type) {
+	case *vlog.Number:
+		return n.Value.Signed()
+	case *vlog.Ident:
+		if st := s.sig(in, n.Name); st != nil {
+			return st.decl.Signed
+		}
+		if p, ok := in.Params[n.Name]; ok {
+			return p.Signed()
+		}
+		return false
+	case *vlog.Index, *vlog.RangeSel, *vlog.Concat, *vlog.Repl, *vlog.Str:
+		return false
+	case *vlog.Unary:
+		switch n.Op {
+		case "+", "-", "~":
+			return s.selfSigned(n.X, in)
+		default:
+			return false
+		}
+	case *vlog.Binary:
+		switch n.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~", "**":
+			return s.selfSigned(n.X, in) && s.selfSigned(n.Y, in)
+		case "<<", ">>", ">>>", "<<<":
+			return s.selfSigned(n.X, in)
+		default:
+			return false
+		}
+	case *vlog.Ternary:
+		return s.selfSigned(n.Then, in) && s.selfSigned(n.Else, in)
+	case *vlog.SysCallExpr:
+		switch n.Name {
+		case "$signed", "$random":
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// constBounds resolves part-select bounds; they were verified constant at
+// elaboration.
+func (s *Simulator) constBounds(n *vlog.RangeSel, in *elab.Inst) (msb, lsb int, ok bool) {
+	mv, err1 := elab.ConstEval(n.MSB, in)
+	lv, err2 := elab.ConstEval(n.LSB, in)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	mi, ok1 := mv.Int64()
+	li, ok2 := lv.Int64()
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	return int(mi), int(li), true
+}
+
+// eval evaluates an expression with assignment-context width ctx (0 for a
+// self-determined position).
+func (s *Simulator) eval(e vlog.Expr, in *elab.Inst, ctx int) vnum.Value {
+	w := s.selfWidth(e, in)
+	if ctx > w {
+		w = ctx
+	}
+	return s.evalSized(e, in, w, s.selfSigned(e, in))
+}
+
+// evalSized evaluates e at width w with expression-level signedness sg.
+func (s *Simulator) evalSized(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.Value {
+	sized := func(v vnum.Value) vnum.Value {
+		if sg {
+			v = v.AsSigned()
+		} else {
+			v = v.AsUnsigned()
+		}
+		return v.Resize(w)
+	}
+	switch n := e.(type) {
+	case *vlog.Number:
+		return sized(n.Value)
+	case *vlog.Str:
+		v := vnum.Zero(8 * max(1, len(n.Text)))
+		for i := 0; i < len(n.Text); i++ {
+			b := n.Text[len(n.Text)-1-i]
+			for k := 0; k < 8; k++ {
+				if b>>uint(k)&1 == 1 {
+					v = v.WithBit(i*8+k, vnum.B1)
+				}
+			}
+		}
+		return sized(v)
+	case *vlog.Ident:
+		if st := s.sig(in, n.Name); st != nil {
+			return sized(st.val)
+		}
+		if p, ok := in.Params[n.Name]; ok {
+			return sized(p)
+		}
+		return vnum.AllX(w)
+	case *vlog.Index:
+		return sized(s.evalIndex(n, in))
+	case *vlog.RangeSel:
+		return sized(s.evalRangeSel(n, in))
+	case *vlog.Unary:
+		switch n.Op {
+		case "+", "-", "~":
+			x := s.evalSized(n.X, in, w, sg)
+			return sized(elab.ApplyUnary(n.Op, x))
+		default: // reductions, !
+			x := s.eval(n.X, in, 0)
+			if n.Op == "!" {
+				return sized(vnum.LogNot(x))
+			}
+			return sized(elab.ApplyUnary(n.Op, x))
+		}
+	case *vlog.Binary:
+		switch n.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+			x := s.evalSized(n.X, in, w, sg)
+			y := s.evalSized(n.Y, in, w, sg)
+			return sized(elab.ApplyBinary(n.Op, x, y))
+		case "<<", "<<<", ">>", ">>>", "**":
+			x := s.evalSized(n.X, in, w, sg)
+			y := s.eval(n.Y, in, 0).AsUnsigned()
+			return sized(elab.ApplyBinary(n.Op, x, y))
+		case "&&", "||":
+			x := s.eval(n.X, in, 0)
+			y := s.eval(n.Y, in, 0)
+			return sized(elab.ApplyBinary(n.Op, x, y))
+		default: // relational and equality: operands sized to their max
+			ow := s.selfWidth(n.X, in)
+			if yw := s.selfWidth(n.Y, in); yw > ow {
+				ow = yw
+			}
+			osg := s.selfSigned(n.X, in) && s.selfSigned(n.Y, in)
+			x := s.evalSized(n.X, in, ow, osg)
+			y := s.evalSized(n.Y, in, ow, osg)
+			return sized(elab.ApplyBinary(n.Op, x, y))
+		}
+	case *vlog.Ternary:
+		c := s.eval(n.Cond, in, 0).Truth()
+		switch c {
+		case vnum.B1:
+			return s.evalSized(n.Then, in, w, sg)
+		case vnum.B0:
+			return s.evalSized(n.Else, in, w, sg)
+		default:
+			// LRM: merge both branches bitwise; equal bits survive
+			a := s.evalSized(n.Then, in, w, sg)
+			b := s.evalSized(n.Else, in, w, sg)
+			out := vnum.Zero(w)
+			for i := 0; i < w; i++ {
+				if a.Bit(i) == b.Bit(i) && a.Bit(i).IsKnown() {
+					out = out.WithBit(i, a.Bit(i))
+				} else {
+					out = out.WithBit(i, vnum.BX)
+				}
+			}
+			return sized(out)
+		}
+	case *vlog.Concat:
+		parts := make([]vnum.Value, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = s.eval(p, in, 0)
+		}
+		return sized(vnum.Concat(parts...))
+	case *vlog.Repl:
+		cnt := 0
+		if v, err := elab.ConstEval(n.Count, in); err == nil {
+			if u, ok := v.Uint64(); ok {
+				cnt = int(u)
+			}
+		}
+		x := s.eval(n.X, in, 0)
+		return sized(vnum.Replicate(cnt, x))
+	case *vlog.SysCallExpr:
+		return sized(s.evalSysFunc(n, in))
+	default:
+		return vnum.AllX(w)
+	}
+}
+
+func (s *Simulator) evalIndex(n *vlog.Index, in *elab.Inst) vnum.Value {
+	if id, ok := n.X.(*vlog.Ident); ok {
+		if ms := s.mem(in, id.Name); ms != nil {
+			iv := s.eval(n.I, in, 0)
+			addr, ok := iv.AsUnsigned().Uint64()
+			if !iv.IsKnown() || !ok {
+				return vnum.AllX(ms.decl.Width)
+			}
+			idx, inRange := ms.decl.WordIndex(int(addr))
+			if !inRange {
+				return vnum.AllX(ms.decl.Width)
+			}
+			return ms.words[idx]
+		}
+	}
+	base := s.eval(n.X, in, 0)
+	iv := s.eval(n.I, in, 0)
+	bi, ok := iv.AsUnsigned().Uint64()
+	if !iv.IsKnown() || !ok {
+		return vnum.AllX(1)
+	}
+	// map the declared index through the signal's range when the base is a
+	// plain signal; otherwise index zero-based
+	if id, ok2 := n.X.(*vlog.Ident); ok2 {
+		if st := s.sig(in, id.Name); st != nil {
+			off, inRange := st.decl.Offset(int(bi))
+			if !inRange {
+				return vnum.AllX(1)
+			}
+			return vnum.FromBits(base.Bit(off))
+		}
+	}
+	if bi >= uint64(base.Width()) {
+		return vnum.AllX(1)
+	}
+	return vnum.FromBits(base.Bit(int(bi)))
+}
+
+func (s *Simulator) evalRangeSel(n *vlog.RangeSel, in *elab.Inst) vnum.Value {
+	msb, lsb, ok := s.constBounds(n, in)
+	if !ok {
+		return vnum.AllX(1)
+	}
+	base := s.eval(n.X, in, 0)
+	if id, ok2 := n.X.(*vlog.Ident); ok2 {
+		if st := s.sig(in, id.Name); st != nil {
+			hiOff, ok1 := st.decl.Offset(msb)
+			loOff, ok2 := st.decl.Offset(lsb)
+			if !ok1 || !ok2 {
+				w := msb - lsb
+				if w < 0 {
+					w = -w
+				}
+				return vnum.AllX(w + 1)
+			}
+			return base.Slice(hiOff, loOff)
+		}
+	}
+	return base.Slice(msb, lsb)
+}
+
+func (s *Simulator) evalSysFunc(n *vlog.SysCallExpr, in *elab.Inst) vnum.Value {
+	switch n.Name {
+	case "$time", "$stime":
+		return vnum.FromUint64(64, s.time)
+	case "$random":
+		return vnum.FromUint64(32, s.random()&0xFFFFFFFF).AsSigned()
+	case "$urandom":
+		return vnum.FromUint64(32, s.random()&0xFFFFFFFF)
+	case "$signed":
+		if len(n.Args) == 1 {
+			return s.eval(n.Args[0], in, 0).AsSigned()
+		}
+	case "$unsigned":
+		if len(n.Args) == 1 {
+			return s.eval(n.Args[0], in, 0).AsUnsigned()
+		}
+	case "$clog2":
+		if len(n.Args) == 1 {
+			v, ok := s.eval(n.Args[0], in, 0).Uint64()
+			if ok {
+				r := 0
+				for (uint64(1) << uint(r)) < v {
+					r++
+				}
+				return vnum.FromUint64(32, uint64(r))
+			}
+		}
+	}
+	return vnum.AllX(32)
+}
+
+// ---- static identifier collection ---------------------------------------
+
+// collectIdents appends every identifier read by e to out.
+func collectIdents(e vlog.Expr, out []string) []string {
+	switch n := e.(type) {
+	case nil:
+		return out
+	case *vlog.Ident:
+		return append(out, n.Name)
+	case *vlog.Unary:
+		return collectIdents(n.X, out)
+	case *vlog.Binary:
+		return collectIdents(n.Y, collectIdents(n.X, out))
+	case *vlog.Ternary:
+		return collectIdents(n.Else, collectIdents(n.Then, collectIdents(n.Cond, out)))
+	case *vlog.Concat:
+		for _, p := range n.Parts {
+			out = collectIdents(p, out)
+		}
+		return out
+	case *vlog.Repl:
+		return collectIdents(n.X, collectIdents(n.Count, out))
+	case *vlog.Index:
+		return collectIdents(n.I, collectIdents(n.X, out))
+	case *vlog.RangeSel:
+		return collectIdents(n.X, out) // bounds are constants
+	case *vlog.SysCallExpr:
+		for _, a := range n.Args {
+			out = collectIdents(a, out)
+		}
+		return out
+	default:
+		return out
+	}
+}
+
+// rootIdent returns the base identifier of an lvalue, when it has a single
+// one (identifier, select of identifier).
+func rootIdent(e vlog.Expr) (string, bool) {
+	switch n := e.(type) {
+	case *vlog.Ident:
+		return n.Name, true
+	case *vlog.Index:
+		return rootIdent(n.X)
+	case *vlog.RangeSel:
+		return rootIdent(n.X)
+	default:
+		return "", false
+	}
+}
+
+// lvalueReadIdents returns identifiers *read* by an lvalue (index
+// expressions), not the written target itself.
+func lvalueReadIdents(e vlog.Expr) []string {
+	switch n := e.(type) {
+	case *vlog.Index:
+		return collectIdents(n.I, lvalueReadIdents(n.X))
+	case *vlog.RangeSel:
+		return lvalueReadIdents(n.X)
+	case *vlog.Concat:
+		var out []string
+		for _, p := range n.Parts {
+			out = append(out, lvalueReadIdents(p)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// collectStmtReads gathers every identifier read anywhere in a statement
+// tree; used for @* sensitivity.
+func collectStmtReads(st vlog.Stmt, out []string) []string {
+	switch n := st.(type) {
+	case nil, *vlog.Null:
+		return out
+	case *vlog.Block:
+		for _, s2 := range n.Stmts {
+			out = collectStmtReads(s2, out)
+		}
+		return out
+	case *vlog.Assign:
+		out = collectIdents(n.RHS, out)
+		for _, id := range lvalueReadIdents(n.LHS) {
+			out = append(out, id)
+		}
+		return out
+	case *vlog.If:
+		out = collectIdents(n.Cond, out)
+		out = collectStmtReads(n.Then, out)
+		return collectStmtReads(n.Else, out)
+	case *vlog.Case:
+		out = collectIdents(n.Expr, out)
+		for _, item := range n.Items {
+			for _, e := range item.Exprs {
+				out = collectIdents(e, out)
+			}
+			out = collectStmtReads(item.Body, out)
+		}
+		return out
+	case *vlog.For:
+		out = collectStmtReads(n.Init, out)
+		out = collectIdents(n.Cond, out)
+		out = collectStmtReads(n.Step, out)
+		return collectStmtReads(n.Body, out)
+	case *vlog.While:
+		out = collectIdents(n.Cond, out)
+		return collectStmtReads(n.Body, out)
+	case *vlog.Repeat:
+		out = collectIdents(n.Count, out)
+		return collectStmtReads(n.Body, out)
+	case *vlog.Forever:
+		return collectStmtReads(n.Body, out)
+	case *vlog.Delay:
+		out = collectIdents(n.Amount, out)
+		return collectStmtReads(n.Stmt, out)
+	case *vlog.EventCtrl:
+		for _, ev := range n.Events {
+			out = collectIdents(ev.X, out)
+		}
+		return collectStmtReads(n.Stmt, out)
+	case *vlog.Wait:
+		out = collectIdents(n.Cond, out)
+		return collectStmtReads(n.Stmt, out)
+	case *vlog.SysCall:
+		for _, a := range n.Args {
+			out = collectIdents(a, out)
+		}
+		return out
+	default:
+		return out
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+func TestVCDFromOptions(t *testing.T) {
+	src := `module tb;
+  reg clk;
+  reg [3:0] q;
+  initial begin
+    clk = 0; q = 0;
+    #5 clk = 1; q = 4'd9;
+    #5 $finish;
+  end
+endmodule`
+	f, err := vlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := elab.Elaborate(f, "tb", elab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(d, Options{DumpVCD: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module tb $end",
+		"$var reg 1", "clk",
+		"$var reg 4", "q [3:0]",
+		"$enddefinitions $end",
+		"#0", "#5",
+		"b1001",
+	} {
+		if !strings.Contains(res.VCD, want) {
+			t.Errorf("VCD missing %q:\n%s", want, res.VCD)
+		}
+	}
+	// initial x state must be recorded before the first assignments
+	if !strings.Contains(res.VCD, "bx ") {
+		t.Errorf("initial unknown vector state missing:\n%s", res.VCD)
+	}
+}
+
+func TestVCDViaDumpvarsTask(t *testing.T) {
+	src := `module tb;
+  reg a;
+  initial begin
+    a = 0;
+    $dumpfile("wave.vcd");
+    $dumpvars;
+    #3 a = 1;
+  end
+endmodule`
+	f, _ := vlog.Parse(src)
+	d, err := elab.Elaborate(f, "tb", elab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(d, Options{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VCD == "" {
+		t.Fatal("$dumpvars did not enable waveform collection")
+	}
+	if !strings.Contains(res.VCD, "#3") {
+		t.Errorf("change at t=3 missing:\n%s", res.VCD)
+	}
+}
+
+func TestVCDHierarchyScopes(t *testing.T) {
+	src := `module child(input x, output y);
+  assign y = ~x;
+endmodule
+module tb;
+  reg x;
+  wire y;
+  child c0 (.x(x), .y(y));
+  initial begin x = 0; #1 x = 1; end
+endmodule`
+	f, _ := vlog.Parse(src)
+	d, err := elab.Elaborate(f, "tb", elab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(d, Options{DumpVCD: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.VCD, "$scope module c0 $end") {
+		t.Errorf("child scope missing:\n%s", res.VCD)
+	}
+	if got := strings.Count(res.VCD, "$upscope $end"); got != 2 {
+		t.Errorf("upscope count = %d, want 2", got)
+	}
+}
+
+func TestNoVCDByDefault(t *testing.T) {
+	res := runTop(t, `module m; initial $display("hi"); endmodule`, "m", Options{})
+	if res.VCD != "" {
+		t.Fatal("VCD produced without being requested")
+	}
+}

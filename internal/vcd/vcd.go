@@ -1,0 +1,136 @@
+// Package vcd implements a Value Change Dump (IEEE 1364 §18) writer. The
+// simulator uses it to honour $dumpvars, so waveforms of benchmark runs
+// can be inspected with any standard viewer.
+package vcd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Writer accumulates a VCD document.
+type Writer struct {
+	header   strings.Builder
+	body     strings.Builder
+	nextID   int
+	defsDone bool
+	curTime  uint64
+	timeSet  bool
+}
+
+// NewWriter starts a VCD document with the standard preamble.
+func NewWriter(timescale string) *Writer {
+	w := &Writer{}
+	if timescale == "" {
+		timescale = "1ns"
+	}
+	fmt.Fprintf(&w.header, "$timescale %s $end\n", timescale)
+	return w
+}
+
+// idCode converts an index into a short printable identifier code.
+func idCode(n int) string {
+	const lo, hi = 33, 126
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(lo + n%(hi-lo+1)))
+		n /= hi - lo + 1
+		if n == 0 {
+			return sb.String()
+		}
+		n--
+	}
+}
+
+// BeginScope opens a module scope.
+func (w *Writer) BeginScope(name string) {
+	fmt.Fprintf(&w.header, "$scope module %s $end\n", sanitize(name))
+}
+
+// EndScope closes the innermost scope.
+func (w *Writer) EndScope() {
+	w.header.WriteString("$upscope $end\n")
+}
+
+// DeclareVar registers a signal and returns its identifier code.
+func (w *Writer) DeclareVar(kind string, width int, name string) string {
+	id := idCode(w.nextID)
+	w.nextID++
+	if kind == "" {
+		kind = "wire"
+	}
+	if width > 1 {
+		fmt.Fprintf(&w.header, "$var %s %d %s %s [%d:0] $end\n", kind, width, id, sanitize(name), width-1)
+	} else {
+		fmt.Fprintf(&w.header, "$var %s 1 %s %s $end\n", kind, id, sanitize(name))
+	}
+	return id
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// EndDefinitions closes the declaration section.
+func (w *Writer) EndDefinitions() {
+	if w.defsDone {
+		return
+	}
+	w.defsDone = true
+	w.header.WriteString("$enddefinitions $end\n$dumpvars\n")
+}
+
+// Change records a value change; bits is the MSB-first 0/1/x/z string.
+// Time stamps are emitted lazily when the simulation time advances.
+func (w *Writer) Change(id string, time uint64, bits string) {
+	if !w.timeSet || time != w.curTime {
+		fmt.Fprintf(&w.body, "#%d\n", time)
+		w.curTime = time
+		w.timeSet = true
+	}
+	if len(bits) == 1 {
+		fmt.Fprintf(&w.body, "%s%s\n", bits, id)
+	} else {
+		fmt.Fprintf(&w.body, "b%s %s\n", trimBits(bits), id)
+	}
+}
+
+// trimBits shortens a vector value per the VCD left-extension rules:
+// leading zeros drop entirely (readers extend with 0), while runs of x or
+// z keep one sentinel character (readers extend with the MSB character).
+func trimBits(bits string) string {
+	if len(bits) <= 1 {
+		return bits
+	}
+	first := bits[0]
+	if first == '1' {
+		return bits
+	}
+	i := 0
+	for i < len(bits)-1 && bits[i] == first {
+		i++
+	}
+	if first == '0' {
+		return bits[i:]
+	}
+	if bits[i] == first { // the whole string is one x/z run
+		return bits[i:]
+	}
+	return bits[i-1:]
+}
+
+// String renders the complete document.
+func (w *Writer) String() string {
+	var sb strings.Builder
+	sb.WriteString(w.header.String())
+	if !w.defsDone {
+		sb.WriteString("$enddefinitions $end\n$dumpvars\n")
+	}
+	sb.WriteString(w.body.String())
+	return sb.String()
+}

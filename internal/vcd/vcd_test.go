@@ -1,0 +1,83 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriterDocumentStructure(t *testing.T) {
+	w := NewWriter("1ns")
+	w.BeginScope("tb")
+	clk := w.DeclareVar("reg", 1, "clk")
+	bus := w.DeclareVar("wire", 4, "q")
+	w.EndScope()
+	w.EndDefinitions()
+	w.Change(clk, 0, "x")
+	w.Change(bus, 0, "xxxx")
+	w.Change(clk, 5, "1")
+	w.Change(bus, 5, "0010")
+	out := w.String()
+
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module tb $end",
+		"$var reg 1 ! clk $end",
+		"$var wire 4 \" q [3:0] $end",
+		"$upscope $end",
+		"$enddefinitions $end",
+		"#0", "x!", "bx \"",
+		"#5", "1!", "b10 \"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("document missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeStampEmittedOncePerInstant(t *testing.T) {
+	w := NewWriter("")
+	a := w.DeclareVar("reg", 1, "a")
+	b := w.DeclareVar("reg", 1, "b")
+	w.EndDefinitions()
+	w.Change(a, 7, "1")
+	w.Change(b, 7, "0")
+	if got := strings.Count(w.String(), "#7"); got != 1 {
+		t.Fatalf("#7 appears %d times", got)
+	}
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	w := NewWriter("")
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		id := w.DeclareVar("wire", 1, "n")
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTrimBits(t *testing.T) {
+	cases := map[string]string{
+		"0010": "10",
+		"0000": "0",
+		"xxxx": "x",
+		"zz10": "z10", // mixed leading z only collapses the run
+		"1010": "1010",
+		"x":    "x",
+	}
+	for in, want := range cases {
+		if got := trimBits(in); got != want {
+			t.Errorf("trimBits(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	w := NewWriter("")
+	w.BeginScope("a b")
+	if !strings.Contains(w.String(), "a_b") {
+		t.Fatal("scope name not sanitized")
+	}
+}

@@ -1,0 +1,457 @@
+package vlog
+
+import "repro/internal/vnum"
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// Expr is a Verilog expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a behavioural statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Item is a module item (declaration, assign, always, instance, ...).
+type Item interface {
+	Node
+	itemNode()
+}
+
+// ---- Expressions -------------------------------------------------------
+
+// Ident is an identifier reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Number is a literal with its parsed four-state value.
+type Number struct {
+	Pos   Pos
+	Text  string
+	Value vnum.Value
+}
+
+// Str is a string literal (used in system task arguments).
+type Str struct {
+	Pos  Pos
+	Text string
+}
+
+// Unary is a prefix operator application: ~x, -x, &x, ...
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is an infix operator application.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Pos        Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+// Concat is {a, b, c}.
+type Concat struct {
+	Pos   Pos
+	Parts []Expr
+}
+
+// Repl is {n{expr}}.
+type Repl struct {
+	Pos   Pos
+	Count Expr
+	X     Expr
+}
+
+// Index is x[i]: a bit select, or a memory word select.
+type Index struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+// RangeSel is x[msb:lsb], a constant part select.
+type RangeSel struct {
+	Pos      Pos
+	X        Expr
+	MSB, LSB Expr
+}
+
+// SysCallExpr is a system function call in expression position,
+// e.g. $time or $random.
+type SysCallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (n *Ident) NodePos() Pos       { return n.Pos }
+func (n *Number) NodePos() Pos      { return n.Pos }
+func (n *Str) NodePos() Pos         { return n.Pos }
+func (n *Unary) NodePos() Pos       { return n.Pos }
+func (n *Binary) NodePos() Pos      { return n.Pos }
+func (n *Ternary) NodePos() Pos     { return n.Pos }
+func (n *Concat) NodePos() Pos      { return n.Pos }
+func (n *Repl) NodePos() Pos        { return n.Pos }
+func (n *Index) NodePos() Pos       { return n.Pos }
+func (n *RangeSel) NodePos() Pos    { return n.Pos }
+func (n *SysCallExpr) NodePos() Pos { return n.Pos }
+
+func (*Ident) exprNode()       {}
+func (*Number) exprNode()      {}
+func (*Str) exprNode()         {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*Ternary) exprNode()     {}
+func (*Concat) exprNode()      {}
+func (*Repl) exprNode()        {}
+func (*Index) exprNode()       {}
+func (*RangeSel) exprNode()    {}
+func (*SysCallExpr) exprNode() {}
+
+// ---- Statements --------------------------------------------------------
+
+// Block is begin ... end, optionally named.
+type Block struct {
+	Pos   Pos
+	Name  string
+	Stmts []Stmt
+}
+
+// Assign is a procedural assignment; NonBlocking selects <= vs =.
+type Assign struct {
+	Pos         Pos
+	LHS         Expr
+	RHS         Expr
+	NonBlocking bool
+}
+
+// If is if (cond) then [else elseStmt]; Else may be nil, branches may be nil
+// (bare semicolon).
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// CaseKind distinguishes case/casez/casex.
+type CaseKind int
+
+// Case statement kinds.
+const (
+	CaseExact CaseKind = iota // case
+	CaseZ                     // casez: z/? are wildcards
+	CaseX                     // casex: x and z are wildcards
+)
+
+// CaseItem is one arm; a nil Exprs slice marks the default arm.
+type CaseItem struct {
+	Pos   Pos
+	Exprs []Expr
+	Body  Stmt
+}
+
+// Case is a case/casez/casex statement.
+type Case struct {
+	Pos   Pos
+	Kind  CaseKind
+	Expr  Expr
+	Items []CaseItem
+}
+
+// For is for (init; cond; step) body.
+type For struct {
+	Pos  Pos
+	Init *Assign
+	Cond Expr
+	Step *Assign
+	Body Stmt
+}
+
+// While is while (cond) body.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// Repeat is repeat (n) body.
+type Repeat struct {
+	Pos   Pos
+	Count Expr
+	Body  Stmt
+}
+
+// Forever is forever body.
+type Forever struct {
+	Pos  Pos
+	Body Stmt
+}
+
+// Delay is #expr stmt; Stmt may be nil for a bare "#10;".
+type Delay struct {
+	Pos    Pos
+	Amount Expr
+	Stmt   Stmt
+}
+
+// EventItem is one term of an event control: [posedge|negedge] expr.
+type EventItem struct {
+	Pos  Pos
+	Edge EdgeKind
+	X    Expr
+}
+
+// EdgeKind is the edge qualifier of an event item.
+type EdgeKind int
+
+// Edge qualifiers.
+const (
+	EdgeAny EdgeKind = iota
+	EdgePos
+	EdgeNeg
+)
+
+// EventCtrl is @(...) stmt or @* stmt; Star marks @* / @(*).
+type EventCtrl struct {
+	Pos    Pos
+	Star   bool
+	Events []EventItem
+	Stmt   Stmt
+}
+
+// Wait is wait (cond) stmt.
+type Wait struct {
+	Pos  Pos
+	Cond Expr
+	Stmt Stmt
+}
+
+// SysCall is a system task invocation statement: $display(...), $finish.
+type SysCall struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Null is a bare semicolon.
+type Null struct {
+	Pos Pos
+}
+
+func (n *Block) NodePos() Pos     { return n.Pos }
+func (n *Assign) NodePos() Pos    { return n.Pos }
+func (n *If) NodePos() Pos        { return n.Pos }
+func (n *Case) NodePos() Pos      { return n.Pos }
+func (n *For) NodePos() Pos       { return n.Pos }
+func (n *While) NodePos() Pos     { return n.Pos }
+func (n *Repeat) NodePos() Pos    { return n.Pos }
+func (n *Forever) NodePos() Pos   { return n.Pos }
+func (n *Delay) NodePos() Pos     { return n.Pos }
+func (n *EventCtrl) NodePos() Pos { return n.Pos }
+func (n *Wait) NodePos() Pos      { return n.Pos }
+func (n *SysCall) NodePos() Pos   { return n.Pos }
+func (n *Null) NodePos() Pos      { return n.Pos }
+
+func (*Block) stmtNode()     {}
+func (*Assign) stmtNode()    {}
+func (*If) stmtNode()        {}
+func (*Case) stmtNode()      {}
+func (*For) stmtNode()       {}
+func (*While) stmtNode()     {}
+func (*Repeat) stmtNode()    {}
+func (*Forever) stmtNode()   {}
+func (*Delay) stmtNode()     {}
+func (*EventCtrl) stmtNode() {}
+func (*Wait) stmtNode()      {}
+func (*SysCall) stmtNode()   {}
+func (*Null) stmtNode()      {}
+
+// ---- Module items ------------------------------------------------------
+
+// Direction is a port direction.
+type Direction int
+
+// Port directions.
+const (
+	DirNone Direction = iota
+	DirInput
+	DirOutput
+	DirInout
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirInput:
+		return "input"
+	case DirOutput:
+		return "output"
+	case DirInout:
+		return "inout"
+	default:
+		return ""
+	}
+}
+
+// RangeSpec is a [msb:lsb] vector range.
+type RangeSpec struct {
+	Pos      Pos
+	MSB, LSB Expr
+}
+
+// NetKind is the storage class of a declaration.
+type NetKind int
+
+// Storage classes.
+const (
+	KindWire NetKind = iota
+	KindReg
+	KindInteger
+)
+
+func (k NetKind) String() string {
+	switch k {
+	case KindWire:
+		return "wire"
+	case KindReg:
+		return "reg"
+	default:
+		return "integer"
+	}
+}
+
+// DeclName is one declarator: name, optional memory range, optional
+// initializer (wire w = expr, or reg r = 0 in corpus code).
+type DeclName struct {
+	Pos        Pos
+	Name       string
+	ArrayRange *RangeSpec
+	Init       Expr
+}
+
+// PortDecl declares ports: input/output/inout [reg] [signed] [range] names.
+type PortDecl struct {
+	Pos    Pos
+	Dir    Direction
+	IsReg  bool
+	Signed bool
+	Range  *RangeSpec
+	Names  []DeclName
+}
+
+// NetDecl declares wires/regs/integers.
+type NetDecl struct {
+	Pos    Pos
+	Kind   NetKind
+	Signed bool
+	Range  *RangeSpec
+	Names  []DeclName
+}
+
+// ParamAssign is one name = expr in a parameter list.
+type ParamAssign struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+}
+
+// ParamDecl is parameter/localparam p = v, q = w;
+type ParamDecl struct {
+	Pos    Pos
+	Local  bool
+	Params []ParamAssign
+}
+
+// ContAssign is assign lhs = rhs (, lhs = rhs)*;
+type ContAssign struct {
+	Pos     Pos
+	Assigns []*Assign
+}
+
+// AlwaysBlock is an always construct.
+type AlwaysBlock struct {
+	Pos  Pos
+	Body Stmt
+}
+
+// InitialBlock is an initial construct.
+type InitialBlock struct {
+	Pos  Pos
+	Body Stmt
+}
+
+// PortConn is one connection of an instantiation; Name is empty for
+// positional connections. Expr may be nil for .name() (unconnected).
+type PortConn struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// Instance is a module instantiation.
+type Instance struct {
+	Pos    Pos
+	Module string
+	Name   string
+	Params []PortConn // #(...) overrides, positional or named
+	Conns  []PortConn
+}
+
+func (n *PortDecl) NodePos() Pos     { return n.Pos }
+func (n *NetDecl) NodePos() Pos      { return n.Pos }
+func (n *ParamDecl) NodePos() Pos    { return n.Pos }
+func (n *ContAssign) NodePos() Pos   { return n.Pos }
+func (n *AlwaysBlock) NodePos() Pos  { return n.Pos }
+func (n *InitialBlock) NodePos() Pos { return n.Pos }
+func (n *Instance) NodePos() Pos     { return n.Pos }
+
+func (*PortDecl) itemNode()     {}
+func (*NetDecl) itemNode()      {}
+func (*ParamDecl) itemNode()    {}
+func (*ContAssign) itemNode()   {}
+func (*AlwaysBlock) itemNode()  {}
+func (*InitialBlock) itemNode() {}
+func (*Instance) itemNode()     {}
+
+// Module is one module declaration.
+type Module struct {
+	Pos       Pos
+	Name      string
+	PortNames []string // header list for non-ANSI style; nil for ANSI
+	Items     []Item
+}
+
+func (m *Module) NodePos() Pos { return m.Pos }
+
+// SourceFile is a parsed compilation unit.
+type SourceFile struct {
+	Modules []*Module
+}
+
+// FindModule returns the module named name, or nil.
+func (f *SourceFile) FindModule(name string) *Module {
+	for _, m := range f.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

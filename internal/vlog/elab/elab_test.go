@@ -1,0 +1,249 @@
+package elab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vlog"
+)
+
+func elaborate(t *testing.T, src, top string) *Design {
+	t.Helper()
+	f, err := vlog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := Elaborate(f, top, Options{})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return d
+}
+
+func elabErr(t *testing.T, src, top string) error {
+	t.Helper()
+	f, err := vlog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Elaborate(f, top, Options{})
+	if err == nil {
+		t.Fatalf("expected elaboration error for:\n%s", src)
+	}
+	return err
+}
+
+func TestElabSignals(t *testing.T) {
+	d := elaborate(t, `module m(input clk, output reg [3:0] q);
+  wire [7:0] w;
+  reg signed [7:0] s;
+  integer i;
+endmodule`, "m")
+	top := d.Top
+	q := top.Signals["q"]
+	if q.Width != 4 || !q.IsReg || q.Dir != vlog.DirOutput {
+		t.Fatalf("q = %+v", q)
+	}
+	if s := top.Signals["s"]; !s.Signed || s.Width != 8 {
+		t.Fatalf("s = %+v", s)
+	}
+	if i := top.Signals["i"]; !i.Signed || i.Width != 32 || !i.IsReg {
+		t.Fatalf("i = %+v", i)
+	}
+	if clk := top.Signals["clk"]; clk.Dir != vlog.DirInput || clk.Width != 1 {
+		t.Fatalf("clk = %+v", clk)
+	}
+}
+
+func TestElabNonANSIMerge(t *testing.T) {
+	d := elaborate(t, `module m(a, q);
+  input a;
+  output [1:0] q;
+  reg [1:0] q;
+endmodule`, "m")
+	q := d.Top.Signals["q"]
+	if !q.IsReg || q.Width != 2 || q.Dir != vlog.DirOutput {
+		t.Fatalf("merged q = %+v", q)
+	}
+}
+
+func TestElabParams(t *testing.T) {
+	d := elaborate(t, `module m;
+  parameter W = 8, D = W * 2;
+  wire [W-1:0] bus;
+  reg [7:0] mem [D-1:0];
+endmodule`, "m")
+	if v, _ := d.Top.Params["D"].Uint64(); v != 16 {
+		t.Fatalf("D = %d", v)
+	}
+	if d.Top.Signals["bus"].Width != 8 {
+		t.Fatalf("bus width = %d", d.Top.Signals["bus"].Width)
+	}
+	if d.Top.Mems["mem"].Depth != 16 {
+		t.Fatalf("mem depth = %d", d.Top.Mems["mem"].Depth)
+	}
+}
+
+func TestElabHierarchy(t *testing.T) {
+	src := `module child(input [3:0] a, output [3:0] y);
+  assign y = a + 1;
+endmodule
+module top;
+  reg [3:0] x;
+  wire [3:0] y;
+  child c0 (.a(x), .y(y));
+endmodule`
+	d := elaborate(t, src, "top")
+	if len(d.Top.Children) != 1 {
+		t.Fatalf("children = %d", len(d.Top.Children))
+	}
+	if d.Top.Children[0].Path != "top.c0" {
+		t.Fatalf("path = %s", d.Top.Children[0].Path)
+	}
+	// 1 explicit CA + 2 port connection CAs
+	if len(d.Assigns) != 3 {
+		t.Fatalf("assigns = %d", len(d.Assigns))
+	}
+}
+
+func TestElabParamOverride(t *testing.T) {
+	src := `module child #(parameter W = 4)(input [W-1:0] a);
+endmodule
+module top;
+  wire [7:0] b;
+  child #(.W(8)) c0 (.a(b));
+endmodule`
+	d := elaborate(t, src, "top")
+	c := d.Top.Children[0]
+	if w, _ := c.Params["W"].Uint64(); w != 8 {
+		t.Fatalf("W = %d", w)
+	}
+	if c.Signals["a"].Width != 8 {
+		t.Fatalf("a width = %d", c.Signals["a"].Width)
+	}
+}
+
+func TestElabPositionalConnsAndParams(t *testing.T) {
+	src := `module child #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);
+  assign y = a;
+endmodule
+module top;
+  wire [5:0] p, q;
+  child #(6) c0 (p, q);
+endmodule`
+	d := elaborate(t, src, "top")
+	if w, _ := d.Top.Children[0].Params["W"].Uint64(); w != 6 {
+		t.Fatalf("W = %d", w)
+	}
+}
+
+func TestElabErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undeclared", `module m; assign w = 1; endmodule`, "undeclared"},
+		{"undeclared rhs", `module m; wire w; assign w = foo; endmodule`, "undeclared"},
+		{"assign to reg", `module m; reg r; assign r = 1; endmodule`, "continuous assignment requires a net"},
+		{"proc assign to wire", `module m; wire w; always @(*) w = 1; endmodule`, "procedural assignment requires a variable"},
+		{"assign to input", `module m(input a); assign a = 1; endmodule`, "input port"},
+		{"dup decl", `module m; wire x; wire x; endmodule`, "duplicate"},
+		{"port no decl", `module m(a); endmodule`, "no declaration"},
+		{"unknown module", `module m; foo f0 (); endmodule`, "unknown module"},
+		{"unknown port", `module c(input a); endmodule
+module m; wire w; c c0 (.b(w)); endmodule`, "no port"},
+		{"too many conns", `module c(input a); endmodule
+module m; wire w; c c0 (w, w); endmodule`, "too many port connections"},
+		{"port twice", `module c(input a); endmodule
+module m; wire w; c c0 (.a(w), .a(w)); endmodule`, "connected twice"},
+		{"unknown systask", `module m; initial $bogus; endmodule`, "unknown system task"},
+		{"unknown param", `module c(input a); endmodule
+module m; wire w; c #(.W(1)) c0 (.a(w)); endmodule`, "no parameter"},
+		{"mem no index", `module m; reg [7:0] mem [3:0]; wire w; assign w = mem; endmodule`, "without an index"},
+		{"input reg", `module m(input reg a); endmodule`, "cannot be a reg"},
+		{"recursion", `module m; m inner (); endmodule`, "recursive"},
+		{"nonconst range", `module m; wire w; wire [w:0] v; endmodule`, "not a constant"},
+		{"case two defaults", `module m; reg r; always @(*) case (r) default: r = 0; default: r = 1; endcase endmodule`, "multiple default"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := elabErr(t, c.src, "m")
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestElabWireInitBecomesAssign(t *testing.T) {
+	d := elaborate(t, `module m(input a); wire w = ~a; endmodule`, "m")
+	if len(d.Assigns) != 1 {
+		t.Fatalf("assigns = %d", len(d.Assigns))
+	}
+}
+
+func TestCompileCheck(t *testing.T) {
+	f, err := vlog.Parse(`module ok(input a, output y); assign y = ~a; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompileCheck(f); err != nil {
+		t.Fatalf("compile check failed: %v", err)
+	}
+	f2, _ := vlog.Parse(`module bad(input a, output y); assign y = ~b; endmodule`)
+	if err := CompileCheck(f2); err == nil {
+		t.Fatal("compile check should fail")
+	}
+}
+
+func TestSignalOffset(t *testing.T) {
+	s := &Signal{Width: 8, MSB: 7, LSB: 0}
+	if off, ok := s.Offset(3); !ok || off != 3 {
+		t.Fatalf("descending offset = %d,%v", off, ok)
+	}
+	if _, ok := s.Offset(8); ok {
+		t.Fatal("out of range accepted")
+	}
+	asc := &Signal{Width: 8, MSB: 0, LSB: 7}
+	if off, ok := asc.Offset(0); !ok || off != 7 {
+		t.Fatalf("ascending offset = %d,%v", off, ok)
+	}
+}
+
+func TestMemWordIndex(t *testing.T) {
+	m := &Mem{Depth: 4, AddrLo: 2}
+	if idx, ok := m.WordIndex(3); !ok || idx != 1 {
+		t.Fatalf("idx = %d,%v", idx, ok)
+	}
+	if _, ok := m.WordIndex(6); ok {
+		t.Fatal("oob address accepted")
+	}
+	if _, ok := m.WordIndex(1); ok {
+		t.Fatal("low oob address accepted")
+	}
+}
+
+func TestElabFSMProblem(t *testing.T) {
+	// the paper's Problem 15 reference shape elaborates cleanly
+	src := `module adv_fsm(input clk, input reset, input x, output z);
+  reg [1:0] present_state, next_state;
+  parameter IDLE=0, S1=1, S10=2, S101=3;
+  always @(posedge clk or posedge reset) begin
+    if (reset) present_state <= IDLE;
+    else present_state <= next_state;
+  end
+  always @(present_state or x) begin
+    case (present_state)
+      IDLE: next_state = x ? S1 : IDLE;
+      S1: next_state = x ? IDLE : S10;
+      S10: next_state = x ? S101 : IDLE;
+      S101: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+  assign z = present_state == S101;
+endmodule`
+	d := elaborate(t, src, "adv_fsm")
+	if len(d.Procs) != 2 || len(d.Assigns) != 1 {
+		t.Fatalf("procs=%d assigns=%d", len(d.Procs), len(d.Assigns))
+	}
+}

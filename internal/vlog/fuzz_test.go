@@ -1,0 +1,31 @@
+package vlog
+
+import "testing"
+
+// FuzzParse drives the lexer+parser with arbitrary input; any outcome but
+// a panic is acceptable. Under plain `go test` the seed corpus runs as a
+// regression suite; `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m; endmodule",
+		"module m(input a, output reg [3:0] q); always @(posedge a) q <= q + 1; endmodule",
+		"module m; initial $display(\"%d\", 4'bxz01); endmodule",
+		"module m; wire w = 1'b1; endmodule",
+		"module m(a); input a; reg [7:0] mem [3:0]; endmodule",
+		"module \x00; endmodule",
+		"module m; always @(*) begin end endmodule",
+		"module m; parameter P = {2{4'hA}}; endmodule",
+		"4'd15 + 'hFF",
+		"// only a comment",
+		"`timescale 1ns/1ps",
+		"module m; initial #5 $finish; endmodule",
+		"module m; c #(.W(8)) i (.a(b), .c());",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src) // must not panic
+	})
+}

@@ -1,0 +1,129 @@
+package vlog
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("module foo (input a); endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"module", "foo", "(", "input", "a", ")", ";", "endmodule"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("tok %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if toks[0].Kind != TokKeyword || toks[1].Kind != TokIdent {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":        "42",
+		"4'b1010":   "4'b1010",
+		"8'hFF":     "8'hFF",
+		"'d15":      "'d15",
+		"12'o777":   "12'o777",
+		"4'bx":      "4'bx",
+		"8'sd255":   "8'sd255",
+		"16'h_dead": "16'h_dead",
+	}
+	for in, want := range cases {
+		toks, err := LexAll(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if len(toks) != 1 || toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("%q lexed to %v", in, toks)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a // line comment\nb /* block\ncomment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+}
+
+func TestLexDirectiveSkipped(t *testing.T) {
+	toks, err := LexAll("`timescale 1ns/1ps\nmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Text != "module" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := LexAll(`$display("a\n%d", x);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokSysName || toks[0].Text != "$display" {
+		t.Fatalf("sysname = %v", toks[0])
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "a\n%d" {
+		t.Fatalf("string = %q", toks[2].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("a <= b >>> 2 === c !== d ~^ e ** f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<=", ">>>", "===", "!==", "~^", "**"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"\"unterminated", "/* unterminated", "a $ b"} {
+		if _, err := LexAll(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b pos = %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,171 @@
+package vlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintExprForms(t *testing.T) {
+	cases := map[string]string{
+		"a + b * c":      "a + (b * c)",
+		"{a, b}":         "{a, b}",
+		"{3{a}}":         "{3{a}}",
+		"a ? b : c":      "a ? b : c",
+		"~a":             "~a",
+		"~(a | b)":       "~(a | b)",
+		"a[3]":           "a[3]",
+		"a[7:4]":         "a[7:4]",
+		"$time":          "$time",
+		"$signed(a)":     "$signed(a)",
+		"a === 4'bxx01":  "a === 4'bxx01",
+		"-a ** 2":        "-a ** 2", // unary binds tighter; no parens needed
+		"(a && b) || !c": "(a && b) || !c",
+		"mem[addr]":      "mem[addr]",
+		"a >>> sh":       "a >>> sh",
+	}
+	for src, want := range cases {
+		e, err := ParseExprString(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		got := PrintExpr(e)
+		// reprint must reparse to the same tree (shape check), and the
+		// text must match the expected canonical form
+		if got != want {
+			t.Errorf("PrintExpr(%q) = %q, want %q", src, got, want)
+		}
+		if _, err := ParseExprString(got); err != nil {
+			t.Errorf("printed form %q does not reparse: %v", got, err)
+		}
+	}
+}
+
+func TestPrintStmtForms(t *testing.T) {
+	srcs := []string{
+		`module m; reg a; integer i;
+  initial begin : blk
+    a = 0;
+    if (a) a = 1;
+    else a = 0;
+    while (a) a = 0;
+    repeat (3) a = ~a;
+    for (i = 0; i < 4; i = i + 1) a = ~a;
+    wait (a) ;
+    #5 ;
+    @(posedge a) ;
+    casez (a)
+      1'b1: a = 0;
+      default: ;
+    endcase
+    $display("x=%d", i);
+    $finish;
+  end
+  always @(negedge a) a <= 1;
+endmodule`,
+	}
+	for _, src := range srcs {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := Print(f)
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, printed)
+		}
+		for _, want := range []string{"begin : blk", "while (", "repeat (", "for (",
+			"wait (", "#5", "@(negedge a)", "casez (", "$finish;", "forever"} {
+			if want == "forever" {
+				continue // not in this source
+			}
+			if !strings.Contains(printed, want) {
+				t.Errorf("printed module missing %q:\n%s", want, printed)
+			}
+		}
+	}
+}
+
+func TestPrintNonANSIModule(t *testing.T) {
+	src := `module m(a, b);
+  input a;
+  output b;
+  assign b = ~a;
+endmodule`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the printer canonicalizes to ANSI style when the port declarations
+	// cover every header name
+	printed := Print(f)
+	if !strings.Contains(printed, "module m (input a, output b);") {
+		t.Fatalf("expected ANSI canonical form:\n%s", printed)
+	}
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if got := f2.Modules[0].PortNames; len(got) != 2 || got[0] != "a" {
+		t.Fatalf("ports after round trip = %v", got)
+	}
+}
+
+func TestPrintInstanceForms(t *testing.T) {
+	src := `module c #(parameter W = 4)(input [W-1:0] a); endmodule
+module m;
+  wire [7:0] w;
+  c #(.W(8)) c0 (.a(w));
+  c c1 (w[3:0]);
+endmodule`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f)
+	for _, want := range []string{"#(.W(8))", "c0 (.a(w))", "c1 (w[3:0])"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("instance print missing %q:\n%s", want, printed)
+		}
+	}
+	if _, err := Parse(printed); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+}
+
+func TestPrintForeverAndMemoryDecl(t *testing.T) {
+	src := `module m;
+  reg clk;
+  reg [7:0] mem [15:0];
+  wire w = clk;
+  initial forever #5 clk = ~clk;
+endmodule`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f)
+	for _, want := range []string{"forever #5", "mem [15:0]", "w = clk"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("missing %q:\n%s", want, printed)
+		}
+	}
+}
+
+func TestPrintItemsSubset(t *testing.T) {
+	src := `module m(input a, output reg b);
+  wire w;
+  assign w = a;
+  always @(*) b = w;
+endmodule`
+	f, _ := Parse(src)
+	var behavioural []Item
+	for _, it := range f.Modules[0].Items {
+		switch it.(type) {
+		case *AlwaysBlock, *ContAssign:
+			behavioural = append(behavioural, it)
+		}
+	}
+	out := PrintItems(behavioural)
+	if !strings.Contains(out, "assign w = a;") || !strings.Contains(out, "always @(*)") {
+		t.Fatalf("PrintItems output:\n%s", out)
+	}
+}

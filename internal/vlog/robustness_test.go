@@ -1,0 +1,160 @@
+package vlog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// corpusLikeModules mirrors the corpus generator's archetypes without
+// importing it (that would create an import cycle through tests); the
+// corpus package has its own test asserting its output parses.
+var corpusLikeModules = []string{
+	`module c1(input clk, input reset, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (reset) q <= 0;
+    else q <= q + 1;
+  end
+endmodule`,
+	`module a1(input [15:0] a, input [15:0] b, output [15:0] sum, output cout);
+  assign {cout, sum} = a + b;
+endmodule`,
+	`module f1(input clk, input reset, input go, output busy);
+  parameter IDLE = 0, RUN = 1, DONE = 2;
+  reg [1:0] state, next;
+  always @(posedge clk or posedge reset) begin
+    if (reset) state <= IDLE;
+    else state <= next;
+  end
+  always @(state or go) begin
+    case (state)
+      IDLE: next = go ? RUN : IDLE;
+      RUN: next = DONE;
+      default: next = IDLE;
+    endcase
+  end
+  assign busy = (state == RUN);
+endmodule`,
+	`module m1(input clk, input we, input [3:0] addr, input [7:0] din, output reg [7:0] dout);
+  reg [7:0] mem [15:0];
+  always @(posedge clk) begin
+    if (we) mem[addr] <= din;
+    dout <= mem[addr];
+  end
+endmodule`,
+}
+
+// TestPrintParseFixpoint: print(parse(x)) reaches a fixpoint after one
+// round for realistic modules.
+func TestPrintParseFixpoint(t *testing.T) {
+	for i, src := range corpusLikeModules {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("module %d: %v", i, err)
+		}
+		p1 := Print(f1)
+		f2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("module %d reparse: %v\n%s", i, err, p1)
+		}
+		p2 := Print(f2)
+		if p1 != p2 {
+			t.Fatalf("module %d not a fixpoint:\n%s\nvs\n%s", i, p1, p2)
+		}
+	}
+}
+
+// TestParseNeverPanics feeds corrupted variants of valid source and raw
+// byte soup into the parser; errors are fine, panics are not (the parser
+// fronts untrusted LLM output in the pipeline).
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	corrupt := func(s string) string {
+		b := []byte(s)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			if len(b) == 0 {
+				break
+			}
+			switch rng.Intn(4) {
+			case 0: // delete a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i)
+				b = append(b[:i], b[j:]...)
+			case 1: // duplicate a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(min(20, len(b)-i))
+				b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+			case 2: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			default: // truncate
+				b = b[:rng.Intn(len(b)+1)]
+			}
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 500; trial++ {
+		src := corrupt(corpusLikeModules[trial%len(corpusLikeModules)])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on corrupted input: %v\n%q", r, src)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+	// raw byte soup
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on byte soup: %v", r)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}
+
+// TestLexAllTokensRoundTripThroughParser ensures every token form the
+// lexer can produce is consumable somewhere (sanity sweep over operators).
+func TestOperatorExpressionsParse(t *testing.T) {
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~",
+		"==", "!=", "===", "!==", "<", "<=", ">", ">=", "<<", ">>", ">>>",
+		"&&", "||", "**"}
+	for _, op := range ops {
+		src := "module m(input [3:0] a, input [3:0] b, output [7:0] y); assign y = a " + op + " b; endmodule"
+		if _, err := Parse(src); err != nil {
+			t.Errorf("operator %q failed: %v", op, err)
+		}
+	}
+	unary := []string{"+", "-", "!", "~", "&", "|", "^", "~&", "~|", "~^"}
+	for _, op := range unary {
+		src := "module m(input [3:0] a, output y); assign y = " + op + "a; endmodule"
+		if _, err := Parse(src); err != nil {
+			t.Errorf("unary %q failed: %v", op, err)
+		}
+	}
+}
+
+func TestDeeplyNestedExpressionNoPanic(t *testing.T) {
+	depth := 2000
+	expr := strings.Repeat("(", depth) + "a" + strings.Repeat(")", depth)
+	// deep nesting must either parse or error, not crash the process;
+	// 2000 levels stays well inside goroutine stack growth
+	if _, err := ParseExprString(expr); err != nil {
+		t.Fatalf("nested expression failed: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

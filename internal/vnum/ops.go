@@ -1,0 +1,509 @@
+package vnum
+
+import "math/bits"
+
+// effSigned reports whether a binary operation over x and y uses signed
+// arithmetic: per IEEE 1364 the result is signed only if both operands are.
+func effSigned(x, y Value) bool { return x.signed && y.signed }
+
+// ctxWidth returns the self-determined result width for a binary
+// arithmetic/bitwise operation: max of the operand widths.
+func ctxWidth(x, y Value) int {
+	if x.width > y.width {
+		return x.width
+	}
+	return y.width
+}
+
+// extend2 resizes both operands to the common context width with the
+// effective signedness applied before extension.
+func extend2(x, y Value) (Value, Value, int, bool) {
+	s := effSigned(x, y)
+	w := ctxWidth(x, y)
+	xr, yr := x, y
+	xr.signed, yr.signed = s, s
+	xr = xr.Resize(w)
+	yr = yr.Resize(w)
+	return xr, yr, w, s
+}
+
+// Add returns x + y at the common context width.
+func Add(x, y Value) Value {
+	xr, yr, w, s := extend2(x, y)
+	if !xr.IsKnown() || !yr.IsKnown() {
+		r := AllX(w)
+		r.signed = s
+		return r
+	}
+	out := Zero(w)
+	out.signed = s
+	var carry uint64
+	for i := range out.a {
+		sum, c1 := bits.Add64(xr.a[i], yr.a[i], carry)
+		out.a[i] = sum
+		carry = c1
+	}
+	out.normalize()
+	return out
+}
+
+// Sub returns x - y at the common context width.
+func Sub(x, y Value) Value {
+	xr, yr, w, s := extend2(x, y)
+	if !xr.IsKnown() || !yr.IsKnown() {
+		r := AllX(w)
+		r.signed = s
+		return r
+	}
+	out := Zero(w)
+	out.signed = s
+	var borrow uint64
+	for i := range out.a {
+		d, b1 := bits.Sub64(xr.a[i], yr.a[i], borrow)
+		out.a[i] = d
+		borrow = b1
+	}
+	out.normalize()
+	return out
+}
+
+// Neg returns -x (two's complement) at x's width.
+func Neg(x Value) Value {
+	z := Zero(x.width)
+	z.signed = x.signed
+	return Sub(z, x)
+}
+
+// Mul returns x * y at the common context width.
+func Mul(x, y Value) Value {
+	xr, yr, w, s := extend2(x, y)
+	if !xr.IsKnown() || !yr.IsKnown() {
+		r := AllX(w)
+		r.signed = s
+		return r
+	}
+	out := Zero(w)
+	out.signed = s
+	// Schoolbook multiply, truncated to w bits.
+	for i := 0; i < len(xr.a); i++ {
+		var carry uint64
+		for j := 0; i+j < len(out.a); j++ {
+			hi, lo := bits.Mul64(xr.a[i], yr.a[j])
+			var c1, c2 uint64
+			out.a[i+j], c1 = bits.Add64(out.a[i+j], lo, 0)
+			out.a[i+j], c2 = bits.Add64(out.a[i+j], carry, 0)
+			carry = hi + c1 + c2
+		}
+	}
+	out.normalize()
+	return out
+}
+
+// absU64 interprets v (already extended to w bits) as a magnitude for signed
+// division; it reports the magnitude and sign. Only defined for w <= 64.
+func absU64(v Value, s bool) (mag uint64, neg bool) {
+	u := v.a[0]
+	if s && v.width <= 64 && v.width > 0 && u&(1<<uint(v.width-1)) != 0 {
+		if v.width < 64 {
+			u |= ^uint64(0) << uint(v.width)
+		}
+		return -u, true
+	}
+	return u, false
+}
+
+// Div returns x / y. Division by zero or unknown operands yield all-x.
+// Operands wider than 64 bits are supported only when their significant
+// bits fit in 64; otherwise the result is x (documented subset limit).
+func Div(x, y Value) Value {
+	return divmod(x, y, true)
+}
+
+// Mod returns x % y with the sign of x, per the LRM.
+func Mod(x, y Value) Value {
+	return divmod(x, y, false)
+}
+
+func divmod(x, y Value, wantQuot bool) Value {
+	xr, yr, w, s := extend2(x, y)
+	bad := func() Value {
+		r := AllX(w)
+		r.signed = s
+		return r
+	}
+	if !xr.IsKnown() || !yr.IsKnown() {
+		return bad()
+	}
+	xu, xok := xr.AsUnsigned().Uint64()
+	yu, yok := yr.AsUnsigned().Uint64()
+	if !xok || !yok {
+		return bad()
+	}
+	if s {
+		xm, xneg := absU64(xr, true)
+		ym, yneg := absU64(yr, true)
+		if ym == 0 {
+			return bad()
+		}
+		q := xm / ym
+		r := xm % ym
+		var res uint64
+		if wantQuot {
+			res = q
+			if xneg != yneg {
+				res = -res
+			}
+		} else {
+			res = r
+			if xneg {
+				res = -res
+			}
+		}
+		out := FromUint64(w, res)
+		out.signed = true
+		return out
+	}
+	if yu == 0 {
+		return bad()
+	}
+	var res uint64
+	if wantQuot {
+		res = xu / yu
+	} else {
+		res = xu % yu
+	}
+	return FromUint64(w, res)
+}
+
+// Pow returns x ** y for known non-negative exponents; otherwise all-x.
+func Pow(x, y Value) Value {
+	w := x.width
+	exp, ok := y.Uint64()
+	if !x.IsKnown() || !ok {
+		return AllX(w)
+	}
+	result := FromUint64(w, 1)
+	result.signed = x.signed
+	base := x
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		exp >>= 1
+	}
+	return result.Resize(w)
+}
+
+// bitwise tables -------------------------------------------------------
+
+func andBit(p, q Bit) Bit {
+	if p == B0 || q == B0 {
+		return B0
+	}
+	if p == B1 && q == B1 {
+		return B1
+	}
+	return BX
+}
+
+func orBit(p, q Bit) Bit {
+	if p == B1 || q == B1 {
+		return B1
+	}
+	if p == B0 && q == B0 {
+		return B0
+	}
+	return BX
+}
+
+func xorBit(p, q Bit) Bit {
+	if !p.IsKnown() || !q.IsKnown() {
+		return BX
+	}
+	if p != q {
+		return B1
+	}
+	return B0
+}
+
+func notBit(p Bit) Bit {
+	switch p {
+	case B0:
+		return B1
+	case B1:
+		return B0
+	default:
+		return BX
+	}
+}
+
+func bitwise2(x, y Value, f func(Bit, Bit) Bit) Value {
+	xr, yr, w, s := extend2(x, y)
+	out := Zero(w)
+	out.signed = s
+	for i := 0; i < w; i++ {
+		out.setBit(i, f(xr.Bit(i), yr.Bit(i)))
+	}
+	return out
+}
+
+// And returns the bitwise AND of x and y.
+func And(x, y Value) Value { return bitwise2(x, y, andBit) }
+
+// Or returns the bitwise OR of x and y.
+func Or(x, y Value) Value { return bitwise2(x, y, orBit) }
+
+// Xor returns the bitwise XOR of x and y.
+func Xor(x, y Value) Value { return bitwise2(x, y, xorBit) }
+
+// Xnor returns the bitwise XNOR of x and y.
+func Xnor(x, y Value) Value {
+	return bitwise2(x, y, func(p, q Bit) Bit { return notBit(xorBit(p, q)) })
+}
+
+// Not returns the bitwise complement of x.
+func Not(x Value) Value {
+	out := Zero(x.width)
+	out.signed = x.signed
+	for i := 0; i < x.width; i++ {
+		out.setBit(i, notBit(x.Bit(i)))
+	}
+	return out
+}
+
+// reductions -----------------------------------------------------------
+
+func reduce(x Value, f func(Bit, Bit) Bit) Value {
+	acc := x.Bit(0)
+	for i := 1; i < x.width; i++ {
+		acc = f(acc, x.Bit(i))
+	}
+	out := Zero(1)
+	out.setBit(0, acc)
+	return out
+}
+
+// RedAnd returns the unary &x reduction.
+func RedAnd(x Value) Value { return reduce(x, andBit) }
+
+// RedOr returns the unary |x reduction.
+func RedOr(x Value) Value { return reduce(x, orBit) }
+
+// RedXor returns the unary ^x reduction.
+func RedXor(x Value) Value { return reduce(x, xorBit) }
+
+// RedNand returns the unary ~&x reduction.
+func RedNand(x Value) Value { return Not(RedAnd(x)) }
+
+// RedNor returns the unary ~|x reduction.
+func RedNor(x Value) Value { return Not(RedOr(x)) }
+
+// RedXnor returns the unary ~^x reduction.
+func RedXnor(x Value) Value { return Not(RedXor(x)) }
+
+// logical --------------------------------------------------------------
+
+// Truth returns the Verilog truthiness of x: B1 if any bit is 1, B0 if all
+// bits are known zero, BX otherwise.
+func (v Value) Truth() Bit {
+	sawUnknown := false
+	for i := 0; i < v.width; i++ {
+		switch v.Bit(i) {
+		case B1:
+			return B1
+		case BX, BZ:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return BX
+	}
+	return B0
+}
+
+// IsTrue reports whether the value is definitely true (truthiness 1).
+func (v Value) IsTrue() bool { return v.Truth() == B1 }
+
+func bitToVal(b Bit) Value {
+	out := Zero(1)
+	out.setBit(0, b)
+	return out
+}
+
+// LogAnd returns x && y (one-bit result).
+func LogAnd(x, y Value) Value { return bitToVal(andBit(x.Truth(), y.Truth())) }
+
+// LogOr returns x || y (one-bit result).
+func LogOr(x, y Value) Value { return bitToVal(orBit(x.Truth(), y.Truth())) }
+
+// LogNot returns !x (one-bit result).
+func LogNot(x Value) Value { return bitToVal(notBit(x.Truth())) }
+
+// comparisons ----------------------------------------------------------
+
+// Eq returns x == y: one-bit x if either operand has unknown bits,
+// otherwise 1/0.
+func Eq(x, y Value) Value {
+	xr, yr, _, _ := extend2(x, y)
+	if !xr.IsKnown() || !yr.IsKnown() {
+		return bitToVal(BX)
+	}
+	for i := range xr.a {
+		if xr.a[i] != yr.a[i] {
+			return Bool(false)
+		}
+	}
+	return Bool(true)
+}
+
+// Neq returns x != y.
+func Neq(x, y Value) Value { return LogNot(Eq(x, y)) }
+
+// CaseEq returns x === y: exact four-state match, always 0/1.
+func CaseEq(x, y Value) Value {
+	xr, yr, _, _ := extend2(x, y)
+	for i := range xr.a {
+		if xr.a[i] != yr.a[i] || xr.b[i] != yr.b[i] {
+			return Bool(false)
+		}
+	}
+	return Bool(true)
+}
+
+// CaseNeq returns x !== y.
+func CaseNeq(x, y Value) Value { return LogNot(CaseEq(x, y)) }
+
+// cmpKnown compares extended known operands: -1, 0, or +1.
+func cmpKnown(x, y Value, signed bool) int {
+	if signed {
+		xs := x.Bit(x.width - 1)
+		ys := y.Bit(y.width - 1)
+		if xs == B1 && ys == B0 {
+			return -1
+		}
+		if xs == B0 && ys == B1 {
+			return 1
+		}
+	}
+	for i := len(x.a) - 1; i >= 0; i-- {
+		if x.a[i] < y.a[i] {
+			return -1
+		}
+		if x.a[i] > y.a[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+func relational(x, y Value, pass func(int) bool) Value {
+	xr, yr, _, s := extend2(x, y)
+	if !xr.IsKnown() || !yr.IsKnown() {
+		return bitToVal(BX)
+	}
+	return Bool(pass(cmpKnown(xr, yr, s)))
+}
+
+// Lt returns x < y.
+func Lt(x, y Value) Value { return relational(x, y, func(c int) bool { return c < 0 }) }
+
+// Le returns x <= y.
+func Le(x, y Value) Value { return relational(x, y, func(c int) bool { return c <= 0 }) }
+
+// Gt returns x > y.
+func Gt(x, y Value) Value { return relational(x, y, func(c int) bool { return c > 0 }) }
+
+// Ge returns x >= y.
+func Ge(x, y Value) Value { return relational(x, y, func(c int) bool { return c >= 0 }) }
+
+// shifts ----------------------------------------------------------------
+
+// Shl returns x << y at x's width.
+func Shl(x, y Value) Value {
+	n, ok := y.Uint64()
+	if !ok {
+		r := AllX(x.width)
+		r.signed = x.signed
+		return r
+	}
+	out := Zero(x.width)
+	out.signed = x.signed
+	if n >= uint64(x.width) {
+		return out
+	}
+	for i := int(n); i < x.width; i++ {
+		out.setBit(i, x.Bit(i-int(n)))
+	}
+	return out
+}
+
+// Shr returns x >> y (logical) at x's width.
+func Shr(x, y Value) Value {
+	n, ok := y.Uint64()
+	if !ok {
+		r := AllX(x.width)
+		r.signed = x.signed
+		return r
+	}
+	out := Zero(x.width)
+	out.signed = x.signed
+	if n >= uint64(x.width) {
+		return out
+	}
+	for i := 0; i < x.width-int(n); i++ {
+		out.setBit(i, x.Bit(i+int(n)))
+	}
+	return out
+}
+
+// Sshr returns x >>> y: arithmetic shift when x is signed, logical
+// otherwise (per the LRM, >>> is arithmetic only in signed context).
+func Sshr(x, y Value) Value {
+	if !x.signed {
+		return Shr(x, y)
+	}
+	n, ok := y.Uint64()
+	if !ok {
+		r := AllX(x.width)
+		r.signed = true
+		return r
+	}
+	sign := x.Bit(x.width - 1)
+	out := Zero(x.width)
+	out.signed = true
+	sh := int(n)
+	if n >= uint64(x.width) {
+		sh = x.width
+	}
+	for i := 0; i < x.width-sh; i++ {
+		out.setBit(i, x.Bit(i+sh))
+	}
+	for i := x.width - sh; i < x.width; i++ {
+		out.setBit(i, sign)
+	}
+	return out
+}
+
+// Merge resolves two simultaneous drivers bit-by-bit: z yields to the other
+// driver, agreement keeps the value, disagreement or any x yields x. Used
+// for multiply-driven nets.
+func Merge(x, y Value) Value {
+	w := ctxWidth(x, y)
+	xr, yr := x.Resize(w), y.Resize(w)
+	out := Zero(w)
+	for i := 0; i < w; i++ {
+		p, q := xr.Bit(i), yr.Bit(i)
+		switch {
+		case p == BZ:
+			out.setBit(i, q)
+		case q == BZ:
+			out.setBit(i, p)
+		case p == q:
+			out.setBit(i, p)
+		default:
+			out.setBit(i, BX)
+		}
+	}
+	return out
+}

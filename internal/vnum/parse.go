@@ -1,0 +1,177 @@
+package vnum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseLiteral parses a Verilog number literal such as 4'b10x0, 8'hFF,
+// 12'o777, 6'd42, 'd15, or a plain unsized decimal like 42. Unsized
+// literals get the conventional 32-bit width and are signed when written
+// without a base (plain decimal) per the LRM.
+func ParseLiteral(text string) (Value, error) {
+	s := strings.ReplaceAll(text, "_", "")
+	tick := strings.IndexByte(s, '\'')
+	if tick < 0 {
+		// plain decimal integer
+		v, err := parseDigits(32, 10, s)
+		if err != nil {
+			return Value{}, fmt.Errorf("vnum: bad decimal literal %q: %w", text, err)
+		}
+		v.signed = true
+		return v, nil
+	}
+	width := 32
+	sized := false
+	if tick > 0 {
+		w := 0
+		for _, r := range s[:tick] {
+			if r < '0' || r > '9' {
+				return Value{}, fmt.Errorf("vnum: bad width in literal %q", text)
+			}
+			w = w*10 + int(r-'0')
+			if w > 1<<20 {
+				return Value{}, fmt.Errorf("vnum: width too large in literal %q", text)
+			}
+		}
+		if w == 0 {
+			return Value{}, fmt.Errorf("vnum: zero width in literal %q", text)
+		}
+		width = w
+		sized = true
+	}
+	rest := s[tick+1:]
+	if rest == "" {
+		return Value{}, fmt.Errorf("vnum: missing base in literal %q", text)
+	}
+	signed := false
+	if rest[0] == 's' || rest[0] == 'S' {
+		signed = true
+		rest = rest[1:]
+		if rest == "" {
+			return Value{}, fmt.Errorf("vnum: missing base in literal %q", text)
+		}
+	}
+	var base int
+	switch rest[0] {
+	case 'b', 'B':
+		base = 2
+	case 'o', 'O':
+		base = 8
+	case 'd', 'D':
+		base = 10
+	case 'h', 'H':
+		base = 16
+	default:
+		return Value{}, fmt.Errorf("vnum: bad base %q in literal %q", rest[0], text)
+	}
+	digits := rest[1:]
+	if digits == "" {
+		return Value{}, fmt.Errorf("vnum: missing digits in literal %q", text)
+	}
+	v, err := parseDigits(width, base, digits)
+	if err != nil {
+		return Value{}, fmt.Errorf("vnum: bad literal %q: %w", text, err)
+	}
+	v.signed = signed
+	_ = sized
+	return v, nil
+}
+
+func bitsPerDigit(base int) int {
+	switch base {
+	case 2:
+		return 1
+	case 8:
+		return 3
+	case 16:
+		return 4
+	}
+	return 0
+}
+
+func parseDigits(width, base int, digits string) (Value, error) {
+	if base == 10 {
+		// decimal: x/z allowed only as a single digit
+		if digits == "x" || digits == "X" {
+			return AllX(width), nil
+		}
+		if digits == "z" || digits == "Z" || digits == "?" {
+			return AllZ(width), nil
+		}
+		v := Zero(width)
+		ten := FromUint64(width, 10)
+		for _, r := range digits {
+			if r < '0' || r > '9' {
+				return Value{}, fmt.Errorf("bad decimal digit %q", r)
+			}
+			v = Add(Mul(v, ten), FromUint64(width, uint64(r-'0')))
+		}
+		return v, nil
+	}
+	bpd := bitsPerDigit(base)
+	v := Zero(width)
+	pos := 0 // next LSB position
+	for i := len(digits) - 1; i >= 0; i-- {
+		c := digits[i]
+		var dbits []Bit
+		switch {
+		case c == 'x' || c == 'X':
+			for k := 0; k < bpd; k++ {
+				dbits = append(dbits, BX)
+			}
+		case c == 'z' || c == 'Z' || c == '?':
+			for k := 0; k < bpd; k++ {
+				dbits = append(dbits, BZ)
+			}
+		default:
+			var d int
+			switch {
+			case c >= '0' && c <= '9':
+				d = int(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = int(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = int(c-'A') + 10
+			default:
+				return Value{}, fmt.Errorf("bad digit %q", c)
+			}
+			if d >= 1<<uint(bpd) {
+				return Value{}, fmt.Errorf("digit %q out of range for base %d", c, base)
+			}
+			for k := 0; k < bpd; k++ {
+				if d>>uint(k)&1 == 1 {
+					dbits = append(dbits, B1)
+				} else {
+					dbits = append(dbits, B0)
+				}
+			}
+		}
+		for k, bb := range dbits {
+			if pos+k < width {
+				v.setBit(pos+k, bb)
+			}
+		}
+		pos += bpd
+	}
+	// Per the LRM, if the leading digit of a based literal is x or z the
+	// value extends with that state to the full width.
+	if pos < width && len(digits) > 0 {
+		lead := digits[0]
+		var fill Bit
+		switch {
+		case lead == 'x' || lead == 'X':
+			fill = BX
+		case lead == 'z' || lead == 'Z' || lead == '?':
+			fill = BZ
+		default:
+			fill = B0
+		}
+		if fill != B0 {
+			for i := pos; i < width; i++ {
+				v.setBit(i, fill)
+			}
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,492 @@
+// Package vnum implements arbitrary-width four-state (0/1/x/z) Verilog
+// vector values and the operator semantics defined by IEEE 1364-2005.
+//
+// A Value stores one aval/bval bit pair per vector bit, following the VPI
+// encoding: (b=0,a=0)→0, (b=0,a=1)→1, (b=1,a=0)→z, (b=1,a=1)→x. Values are
+// immutable from the caller's point of view: all operations return fresh
+// Values and never alias operand storage.
+package vnum
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bit is the state of a single vector bit.
+type Bit uint8
+
+// The four Verilog scalar states.
+const (
+	B0 Bit = iota // logic zero
+	B1            // logic one
+	BX            // unknown
+	BZ            // high impedance
+)
+
+// String returns the canonical lower-case character for the bit.
+func (b Bit) String() string {
+	switch b {
+	case B0:
+		return "0"
+	case B1:
+		return "1"
+	case BX:
+		return "x"
+	default:
+		return "z"
+	}
+}
+
+// IsKnown reports whether the bit is 0 or 1.
+func (b Bit) IsKnown() bool { return b == B0 || b == B1 }
+
+// Value is an arbitrary-width four-state vector. The zero Value is a
+// one-bit unknown (x); use the constructors for anything else.
+type Value struct {
+	width  int
+	signed bool
+	a, b   []uint64 // aval/bval planes, LSB first, tail bits masked to zero
+}
+
+func words(width int) int {
+	if width <= 0 {
+		width = 1
+	}
+	return (width + 63) / 64
+}
+
+// New returns a width-bit value with every bit set to fill.
+func New(width int, fill Bit) Value {
+	if width <= 0 {
+		width = 1
+	}
+	v := Value{width: width, a: make([]uint64, words(width)), b: make([]uint64, words(width))}
+	var aw, bw uint64
+	switch fill {
+	case B1:
+		aw = ^uint64(0)
+	case BX:
+		aw, bw = ^uint64(0), ^uint64(0)
+	case BZ:
+		bw = ^uint64(0)
+	}
+	for i := range v.a {
+		v.a[i] = aw
+		v.b[i] = bw
+	}
+	v.normalize()
+	return v
+}
+
+// Zero returns a width-bit all-zero value.
+func Zero(width int) Value { return New(width, B0) }
+
+// AllX returns a width-bit all-unknown value.
+func AllX(width int) Value { return New(width, BX) }
+
+// AllZ returns a width-bit all-high-impedance value.
+func AllZ(width int) Value { return New(width, BZ) }
+
+// FromUint64 returns a width-bit value holding u (truncated to width).
+func FromUint64(width int, u uint64) Value {
+	v := Zero(width)
+	v.a[0] = u
+	if len(v.a) > 1 {
+		for i := 1; i < len(v.a); i++ {
+			v.a[i] = 0
+		}
+	}
+	v.normalize()
+	return v
+}
+
+// FromInt64 returns a width-bit signed value holding i (two's complement,
+// truncated to width). The result is marked signed.
+func FromInt64(width int, i int64) Value {
+	v := Zero(width)
+	u := uint64(i)
+	v.a[0] = u
+	if i < 0 {
+		for w := 1; w < len(v.a); w++ {
+			v.a[w] = ^uint64(0)
+		}
+	}
+	v.signed = true
+	v.normalize()
+	return v
+}
+
+// FromBits builds a value from bits listed MSB first.
+func FromBits(bits ...Bit) Value {
+	v := New(len(bits), B0)
+	for i, bit := range bits {
+		v.setBit(len(bits)-1-i, bit)
+	}
+	return v
+}
+
+// FromBitString parses a string of 0/1/x/z/_ characters (MSB first), e.g.
+// "10xz". It panics on other characters; it is intended for literals in
+// tests and generators, not user input.
+func FromBitString(s string) Value {
+	var bits []Bit
+	for _, r := range s {
+		switch r {
+		case '0':
+			bits = append(bits, B0)
+		case '1':
+			bits = append(bits, B1)
+		case 'x', 'X':
+			bits = append(bits, BX)
+		case 'z', 'Z', '?':
+			bits = append(bits, BZ)
+		case '_':
+		default:
+			panic(fmt.Sprintf("vnum: bad bit char %q", r))
+		}
+	}
+	if len(bits) == 0 {
+		bits = []Bit{B0}
+	}
+	return FromBits(bits...)
+}
+
+// Bool returns a one-bit value: 1 if t, else 0.
+func Bool(t bool) Value {
+	if t {
+		return FromUint64(1, 1)
+	}
+	return FromUint64(1, 0)
+}
+
+func (v Value) clone() Value {
+	c := Value{width: v.width, signed: v.signed, a: make([]uint64, len(v.a)), b: make([]uint64, len(v.b))}
+	copy(c.a, v.a)
+	copy(c.b, v.b)
+	return c
+}
+
+func (v *Value) normalize() {
+	rem := uint(v.width % 64)
+	if rem != 0 {
+		mask := (uint64(1) << rem) - 1
+		last := len(v.a) - 1
+		v.a[last] &= mask
+		v.b[last] &= mask
+	}
+}
+
+// Width returns the bit width of the value.
+func (v Value) Width() int { return v.width }
+
+// Signed reports whether the value carries a signed interpretation.
+func (v Value) Signed() bool { return v.signed }
+
+// AsSigned returns a copy marked signed.
+func (v Value) AsSigned() Value {
+	c := v.clone()
+	c.signed = true
+	return c
+}
+
+// AsUnsigned returns a copy marked unsigned.
+func (v Value) AsUnsigned() Value {
+	c := v.clone()
+	c.signed = false
+	return c
+}
+
+// Bit returns the state of bit i (0 = LSB). Out-of-range bits read as x.
+func (v Value) Bit(i int) Bit {
+	if i < 0 || i >= v.width {
+		return BX
+	}
+	av := v.a[i/64] >> (uint(i) % 64) & 1
+	bv := v.b[i/64] >> (uint(i) % 64) & 1
+	switch {
+	case bv == 0 && av == 0:
+		return B0
+	case bv == 0 && av == 1:
+		return B1
+	case bv == 1 && av == 0:
+		return BZ
+	default:
+		return BX
+	}
+}
+
+func (v *Value) setBit(i int, bit Bit) {
+	if i < 0 || i >= v.width {
+		return
+	}
+	w, s := i/64, uint(i)%64
+	v.a[w] &^= 1 << s
+	v.b[w] &^= 1 << s
+	switch bit {
+	case B1:
+		v.a[w] |= 1 << s
+	case BX:
+		v.a[w] |= 1 << s
+		v.b[w] |= 1 << s
+	case BZ:
+		v.b[w] |= 1 << s
+	}
+}
+
+// WithBit returns a copy of v with bit i set to bit.
+func (v Value) WithBit(i int, bit Bit) Value {
+	c := v.clone()
+	c.setBit(i, bit)
+	return c
+}
+
+// IsKnown reports whether every bit is 0 or 1.
+func (v Value) IsKnown() bool {
+	for _, w := range v.b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HasZ reports whether any bit is z.
+func (v Value) HasZ() bool {
+	for i := range v.b {
+		if v.b[i]&^v.a[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsZero reports whether the value is fully known and equal to zero.
+func (v Value) IsZero() bool {
+	if !v.IsKnown() {
+		return false
+	}
+	for _, w := range v.a {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Uint64 returns the low 64 bits of the value and reports whether the whole
+// value is known and fits in 64 bits.
+func (v Value) Uint64() (uint64, bool) {
+	if !v.IsKnown() {
+		return 0, false
+	}
+	for i := 1; i < len(v.a); i++ {
+		if v.a[i] != 0 {
+			return v.a[0], false
+		}
+	}
+	return v.a[0], true
+}
+
+// Int64 returns the value as a signed 64-bit integer (sign-extended from
+// the value's width) and reports whether the value is known and fits.
+func (v Value) Int64() (int64, bool) {
+	if !v.IsKnown() || v.width > 64 {
+		u, ok := v.Uint64()
+		return int64(u), ok && v.width <= 64
+	}
+	u := v.a[0]
+	if v.signed && v.width < 64 && u&(1<<uint(v.width-1)) != 0 {
+		u |= ^uint64(0) << uint(v.width)
+	}
+	return int64(u), true
+}
+
+// Equal reports exact equality: same width and identical bit states
+// (signedness is ignored). This is Go-level equality, not Verilog ==.
+func (v Value) Equal(o Value) bool {
+	if v.width != o.width {
+		return false
+	}
+	for i := range v.a {
+		if v.a[i] != o.a[i] || v.b[i] != o.b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Resize returns v resized to width bits. Narrowing truncates; widening
+// zero-extends, or sign-extends when v is signed (x/z sign bits extend as
+// x/z, matching the LRM).
+func (v Value) Resize(width int) Value {
+	if width <= 0 {
+		width = 1
+	}
+	out := Value{width: width, signed: v.signed, a: make([]uint64, words(width)), b: make([]uint64, words(width))}
+	n := min(width, v.width)
+	for i := 0; i < words(n); i++ {
+		out.a[i] = v.a[i]
+		out.b[i] = v.b[i]
+	}
+	out.normalize()
+	if width > v.width && v.signed {
+		sign := v.Bit(v.width - 1)
+		if sign != B0 {
+			for i := v.width; i < width; i++ {
+				out.setBit(i, sign)
+			}
+		}
+	}
+	return out
+}
+
+// Concat concatenates parts MSB-first: Concat(a, b) has a in the high bits.
+func Concat(parts ...Value) Value {
+	total := 0
+	for _, p := range parts {
+		total += p.width
+	}
+	out := Zero(total)
+	pos := total
+	for _, p := range parts {
+		pos -= p.width
+		for i := 0; i < p.width; i++ {
+			out.setBit(pos+i, p.Bit(i))
+		}
+	}
+	return out
+}
+
+// Replicate returns n copies of v concatenated.
+func Replicate(n int, v Value) Value {
+	if n <= 0 {
+		return Zero(1)
+	}
+	parts := make([]Value, n)
+	for i := range parts {
+		parts[i] = v
+	}
+	return Concat(parts...)
+}
+
+// Slice extracts bits [msb:lsb] (inclusive). Out-of-range bits read as x.
+func (v Value) Slice(msb, lsb int) Value {
+	if msb < lsb {
+		msb, lsb = lsb, msb
+	}
+	out := Zero(msb - lsb + 1)
+	for i := lsb; i <= msb; i++ {
+		out.setBit(i-lsb, v.Bit(i))
+	}
+	return out
+}
+
+// String renders the value as a sized binary literal, e.g. 4'b10x1.
+func (v Value) String() string {
+	return fmt.Sprintf("%d'b%s", v.width, v.BinString())
+}
+
+// BinString renders the raw bit string, MSB first.
+func (v Value) BinString() string {
+	var sb strings.Builder
+	for i := v.width - 1; i >= 0; i-- {
+		sb.WriteString(v.Bit(i).String())
+	}
+	return sb.String()
+}
+
+// HexString renders the value in hex; nibbles containing mixed known and
+// unknown bits print as uppercase X/Z markers per common tool convention.
+func (v Value) HexString() string {
+	nibbles := (v.width + 3) / 4
+	var sb strings.Builder
+	for n := nibbles - 1; n >= 0; n-- {
+		lo := n * 4
+		hi := min(lo+3, v.width-1)
+		allX, allZ, anyUnknown := true, true, false
+		var d uint64
+		for i := lo; i <= hi; i++ {
+			switch v.Bit(i) {
+			case B0:
+				allX, allZ = false, false
+			case B1:
+				allX, allZ = false, false
+				d |= 1 << uint(i-lo)
+			case BX:
+				allZ = false
+				anyUnknown = true
+			case BZ:
+				allX = false
+				anyUnknown = true
+			}
+		}
+		switch {
+		case anyUnknown && allX:
+			sb.WriteByte('x')
+		case anyUnknown && allZ:
+			sb.WriteByte('z')
+		case anyUnknown:
+			sb.WriteByte('X')
+		default:
+			sb.WriteString(fmt.Sprintf("%x", d))
+		}
+	}
+	return sb.String()
+}
+
+// DecString renders the value in decimal; if any bit is unknown the result
+// is "x" (or "z" if all bits are z), matching %d display semantics.
+func (v Value) DecString() string {
+	if !v.IsKnown() {
+		all := true
+		for i := 0; i < v.width; i++ {
+			if v.Bit(i) != BZ {
+				all = false
+				break
+			}
+		}
+		if all {
+			return "z"
+		}
+		return "x"
+	}
+	if v.signed {
+		if i, ok := v.Int64(); ok {
+			return fmt.Sprintf("%d", i)
+		}
+	}
+	if u, ok := v.Uint64(); ok {
+		return fmt.Sprintf("%d", u)
+	}
+	// Multi-word decimal via repeated division by 10.
+	var digits []byte
+	cur := append([]uint64(nil), v.a...)
+	for {
+		var rem uint64
+		nonzero := false
+		for i := len(cur) - 1; i >= 0; i-- {
+			q, r := bits.Div64(rem, cur[i], 10)
+			cur[i] = q
+			rem = r
+			if q != 0 {
+				nonzero = true
+			}
+		}
+		digits = append(digits, byte('0'+rem))
+		if !nonzero {
+			break
+		}
+	}
+	for l, r := 0, len(digits)-1; l < r; l, r = l+1, r-1 {
+		digits[l], digits[r] = digits[r], digits[l]
+	}
+	return string(digits)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
