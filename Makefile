@@ -1,0 +1,30 @@
+# Build/test/bench entry points. `make bench` appends machine-readable
+# results to BENCH_<date>.json so the perf trajectory is tracked per PR.
+
+GO ?= go
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: all build test race bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race-checks the packages with concurrency: the parallel evaluation
+# engine and the model family it drives.
+race:
+	$(GO) test -race ./internal/eval/... ./internal/model/...
+
+# -json emits the test2json stream (one JSON object per line) including
+# every Benchmark output line, so the file is grep- and jq-friendly.
+bench:
+	$(GO) test -json -run '^$$' -bench . -benchmem . > BENCH_$(DATE).json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_$(DATE).json | sed 's/"Output":"//;s/\\n//' || true
+	@echo "wrote BENCH_$(DATE).json"
+
+clean:
+	rm -f BENCH_*.json

@@ -309,3 +309,54 @@ func BenchmarkFullPipelineEvaluation(b *testing.B) {
 		}
 	}
 }
+
+// ---- parallel evaluation engine benches (DESIGN.md Section 6) --------------
+
+// benchTableIIICold regenerates Table III on a fresh Runner per iteration —
+// a cold outcome cache, so every sample pays the real compile+simulate
+// cost — at the given worker-pool width. The family (corpus, tokenizer,
+// variant bank) is shared: that is the engine's steady state, where sweep
+// throughput is the bottleneck.
+func benchTableIIICold(b *testing.B, workers int) {
+	h := benchHarness()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(h.Runner.Family, 123)
+		r.Workers = workers
+		hh := &harness.Harness{Runner: r, Opts: h.Opts, Seed: 123}
+		out = hh.TableIII()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+func BenchmarkTableIIISerial(b *testing.B)   { benchTableIIICold(b, 1) }
+func BenchmarkTableIIIParallel(b *testing.B) { benchTableIIICold(b, 8) }
+
+// benchEvaluateBatch times the raw fan-out: every (problem, level) cell of
+// the benchmark at one temperature, cold outcome cache per iteration.
+func benchEvaluateBatch(b *testing.B, workers int) {
+	h := benchHarness()
+	var qs []eval.Query
+	for _, p := range problems.All() {
+		for _, l := range problems.Levels {
+			qs = append(qs, eval.Query{
+				Model: model.CodeGen16B, Variant: model.FineTuned,
+				Problem: p, Level: l, Temperature: 0.5, N: 4,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(h.Runner.Family, 123)
+		r.Workers = workers
+		if len(r.EvaluateBatch(qs)) != len(qs) {
+			b.Fatal("batch result length mismatch")
+		}
+	}
+}
+
+func BenchmarkEvaluateBatchSerial(b *testing.B) { benchEvaluateBatch(b, 1) }
+func BenchmarkEvaluateBatch(b *testing.B)       { benchEvaluateBatch(b, 8) }

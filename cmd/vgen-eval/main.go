@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vgen-eval [-seed N] [-n N] [-quick] [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|list]
+//	vgen-eval [-seed N] [-n N] [-quick] [-workers N] [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|list]
 //
 // -quick restricts the sweep to t=0.1 and small n, which preserves the
 // best-temperature table values (best is t=0.1 by construction and in the
@@ -26,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "sweep only t=0.1 (fast; matches best-t tables)")
 	experiment := flag.String("experiment", "all", "which artifact to regenerate")
 	corpusFiles := flag.Int("corpus-files", 0, "synthetic corpus size (0 = default)")
+	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	flag.Parse()
 
 	sweep := eval.SweepOptions{N: *n}
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	fw := core.New(core.Config{Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep})
+	fw := core.New(core.Config{Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep, Workers: *workers})
 	h := fw.Harness
 
 	run := func(name string, f func() string) {

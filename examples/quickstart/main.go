@@ -5,7 +5,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -33,8 +32,7 @@ func main() {
 	// 3. Sample 10 completions from fine-tuned CodeGen-16B at t=0.1 and
 	//    evaluate each one.
 	gen, _ := fw.Family.Generator(model.CodeGen16B, model.FineTuned)
-	rng := rand.New(rand.NewSource(1))
-	samples := gen.CompleteN(p, problems.LevelMedium, 0.1, 10, rng)
+	samples := gen.CompleteN(p, problems.LevelMedium, 0.1, 10, 1)
 	compiled, passed := 0, 0
 	for i, s := range samples {
 		o, err := fw.EvaluateCompletion(p.Number, problems.LevelMedium, s.Completion)

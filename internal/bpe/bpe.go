@@ -66,15 +66,47 @@ func Train(corpus []string, vocabSize int) *Tokenizer {
 		return strings.Join(words[i].parts, "") < strings.Join(words[j].parts, "")
 	})
 
-	target := vocabSize - 256
-	for len(t.merges) < target {
-		// count adjacent pairs
-		counts := map[pairKey]int{}
-		for _, ws := range words {
-			for i := 0; i+1 < len(ws.parts); i++ {
-				counts[pairKey{ws.parts[i], ws.parts[i+1]}] += ws.freq
+	// Incremental pair accounting: counts holds the exact adjacent-pair
+	// totals (zero entries deleted), and occurs indexes which words
+	// currently contain each pair. A merge then only re-counts the touched
+	// words instead of rescanning the whole corpus per iteration.
+	counts := map[pairKey]int{}
+	occurs := map[pairKey]map[int]struct{}{}
+	addWord := func(idx int) {
+		ws := words[idx]
+		for i := 0; i+1 < len(ws.parts); i++ {
+			k := pairKey{ws.parts[i], ws.parts[i+1]}
+			counts[k] += ws.freq
+			set, ok := occurs[k]
+			if !ok {
+				set = map[int]struct{}{}
+				occurs[k] = set
+			}
+			set[idx] = struct{}{}
+		}
+	}
+	removeWord := func(idx int) {
+		ws := words[idx]
+		for i := 0; i+1 < len(ws.parts); i++ {
+			k := pairKey{ws.parts[i], ws.parts[i+1]}
+			counts[k] -= ws.freq
+			if counts[k] <= 0 {
+				delete(counts, k)
+			}
+			if set := occurs[k]; set != nil {
+				delete(set, idx)
+				if len(set) == 0 {
+					delete(occurs, k)
+				}
 			}
 		}
+	}
+	for i := range words {
+		addWord(i)
+	}
+
+	target := vocabSize - 256
+	for len(t.merges) < target {
 		if len(counts) == 0 {
 			break
 		}
@@ -95,9 +127,16 @@ func Train(corpus []string, vocabSize int) *Tokenizer {
 			t.vocab[joined] = len(t.tokens)
 			t.tokens = append(t.tokens, joined)
 		}
-		// apply the merge to every word
-		for _, ws := range words {
-			ws.parts = applyMerge(ws.parts, best)
+		// apply the merge to the touched words only, updating counts around
+		// each rewrite (removeWord mutates occurs[best], so snapshot first)
+		touched := make([]int, 0, len(occurs[best]))
+		for idx := range occurs[best] {
+			touched = append(touched, idx)
+		}
+		for _, idx := range touched {
+			removeWord(idx)
+			words[idx].parts = applyMerge(words[idx].parts, best)
+			addWord(idx)
 		}
 	}
 	return t

@@ -20,6 +20,7 @@ type Config struct {
 	CorpusFiles int              // synthetic GitHub corpus size; 0 = default
 	Corpus      model.CorpusKind // fine-tuning corpus (ablation handle)
 	Sweep       eval.SweepOptions
+	Workers     int // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
 }
 
 // Framework is a fully wired evaluation stack.
@@ -39,6 +40,7 @@ func New(cfg Config) *Framework {
 		Corpus:      cfg.Corpus,
 	})
 	runner := eval.NewRunner(fam, cfg.Seed)
+	runner.Workers = cfg.Workers
 	return &Framework{
 		Family: fam,
 		Runner: runner,

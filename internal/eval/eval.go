@@ -4,10 +4,15 @@
 // against the problem's test bench for functional correctness, and
 // aggregated into Pass@(scenario·n) values with best-temperature
 // selection.
+//
+// The pipeline is a parallel engine: Runner fans (problem, level,
+// temperature, sample-index) work items across a worker pool, with
+// per-sample hashed RNG streams so parallel and serial runs produce
+// byte-identical tables. See DESIGN.md, "The parallel evaluation engine".
 package eval
 
 import (
-	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -34,7 +39,36 @@ type Outcome struct {
 	Passes   bool
 }
 
+// tbCache holds one parsed testbench AST per distinct testbench text.
+// Keying by the text (not the problem number) makes the cache immune to
+// Problem copies that carry a modified bench under a reused number; a
+// single parse still serves every sample of every sweep, so the
+// completion is the only text parsed per evaluation. Elaboration and
+// simulation only read the AST, so sharing it across workers is safe.
+var tbCache sync.Map // testbench source text -> *tbEntry
+
+type tbEntry struct {
+	once sync.Once
+	file *vlog.SourceFile
+	err  error
+}
+
+// testbenchAST returns the problem's testbench parsed exactly once. The
+// Load-first probe keeps the steady-state hit path allocation-free.
+func testbenchAST(p *problems.Problem) (*vlog.SourceFile, error) {
+	v, ok := tbCache.Load(p.Testbench)
+	if !ok {
+		v, _ = tbCache.LoadOrStore(p.Testbench, &tbEntry{})
+	}
+	e := v.(*tbEntry)
+	e.once.Do(func() { e.file, e.err = vlog.Parse(p.Testbench) })
+	return e.file, e.err
+}
+
 // Evaluate runs the full pipeline on one completion for (problem, level).
+// The candidate source is parsed once; the testbench AST comes from the
+// per-problem cache and is composed with the candidate's modules for
+// elaboration, so each sample pays for exactly one parse of the completion.
 func Evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
 	completion = Truncate(completion)
 	src := p.CompleteWith(level, completion)
@@ -45,11 +79,13 @@ func Evaluate(p *problems.Problem, level problems.Level, completion string) Outc
 	if elab.CompileCheck(f) != nil {
 		return Outcome{}
 	}
-	full, err := vlog.Parse(src + "\n" + p.Testbench)
+	// The candidate compiles standalone; everything past this point can
+	// only downgrade the verdict from Passes, never from Compiles.
+	tb, err := testbenchAST(p)
 	if err != nil {
 		return Outcome{Compiles: true}
 	}
-	d, err := elab.Elaborate(full, "tb", elab.Options{})
+	d, err := elab.Elaborate(vlog.Compose(f, tb), "tb", elab.Options{})
 	if err != nil {
 		return Outcome{Compiles: true}
 	}
@@ -60,16 +96,9 @@ func Evaluate(p *problems.Problem, level problems.Level, completion string) Outc
 	return Outcome{Compiles: true, Passes: problems.PassVerdict(res.Output)}
 }
 
-// Runner executes queries against a model family with an outcome cache
-// (bank-sourced completions repeat heavily across cells, so most
-// evaluations are cache hits).
-type Runner struct {
-	Family *model.Family
-	Seed   int64
-
-	mu    sync.Mutex
-	cache map[cacheKey]Outcome
-}
+// numShards sizes the outcome cache: enough shards that GOMAXPROCS workers
+// rarely collide on one lock, cheap enough to sit in every Runner.
+const numShards = 64
 
 type cacheKey struct {
 	problem    int
@@ -77,24 +106,91 @@ type cacheKey struct {
 	completion string
 }
 
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]*outcomeSlot
+}
+
+// outcomeSlot dedups in-flight evaluations: concurrent workers missing on
+// the same key run the expensive compile+simulate exactly once, under the
+// slot's once, never under the shard lock.
+type outcomeSlot struct {
+	once sync.Once
+	o    Outcome
+}
+
+// FNV-1a constants for cache-key and query-seed hashing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvUint(h, u uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (u & 0xff)) * fnvPrime
+		u >>= 8
+	}
+	return h
+}
+
+func (k *cacheKey) shard() uint64 {
+	h := fnvUint(fnvOffset, uint64(k.problem))
+	h = fnvUint(h, uint64(k.level))
+	h = fnvString(h, k.completion)
+	return h % numShards
+}
+
+// Runner executes queries against a model family with a sharded outcome
+// cache (bank-sourced completions repeat heavily across cells, so most
+// evaluations are cache hits; sharding keeps the hit path contention-free
+// under the worker pool).
+type Runner struct {
+	Family *model.Family
+	Seed   int64
+
+	// Workers sets the evaluation pool width: 1 means serial, 0 (or
+	// negative) means GOMAXPROCS. Results are byte-identical at every
+	// width; see DESIGN.md, "Determinism under parallelism".
+	Workers int
+
+	shards [numShards]cacheShard
+}
+
 // NewRunner wraps a family for evaluation.
 func NewRunner(f *model.Family, seed int64) *Runner {
-	return &Runner{Family: f, Seed: seed, cache: map[cacheKey]Outcome{}}
+	r := &Runner{Family: f, Seed: seed}
+	for i := range r.shards {
+		r.shards[i].m = map[cacheKey]*outcomeSlot{}
+	}
+	return r
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (r *Runner) evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
 	key := cacheKey{problem: p.Number, level: level, completion: completion}
-	r.mu.Lock()
-	if o, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return o
+	sh := &r.shards[key.shard()]
+	sh.mu.Lock()
+	s, ok := sh.m[key]
+	if !ok {
+		s = &outcomeSlot{}
+		sh.m[key] = s
 	}
-	r.mu.Unlock()
-	o := Evaluate(p, level, completion)
-	r.mu.Lock()
-	r.cache[key] = o
-	r.mu.Unlock()
-	return o
+	sh.mu.Unlock()
+	s.once.Do(func() { s.o = Evaluate(p, level, completion) })
+	return s.o
 }
 
 // Query identifies one evaluation cell sample request.
@@ -105,6 +201,19 @@ type Query struct {
 	Level       problems.Level
 	Temperature float64
 	N           int
+}
+
+// querySeed hashes the query coordinates (not N) into the base seed that
+// sample indices are derived from. Excluding N gives the streams a prefix
+// property: sample i is the same draw in an n=1, n=10, or n=25 sweep.
+func (r *Runner) querySeed(q Query) int64 {
+	h := fnvUint(fnvOffset, uint64(r.Seed))
+	h = fnvString(h, string(q.Model))
+	h = fnvUint(h, uint64(q.Variant))
+	h = fnvUint(h, uint64(q.Problem.Number))
+	h = fnvUint(h, uint64(q.Level))
+	h = fnvUint(h, uint64(int64(q.Temperature*1000)))
+	return int64(h)
 }
 
 // CellStats aggregate the outcomes of one query.
@@ -148,38 +257,89 @@ func (c *CellStats) Add(o CellStats) {
 	c.SumLat += o.SumLat
 }
 
+// sampleResult is one work item's outcome, written into a slot owned by
+// its (query, sample) coordinates so reduction order is fixed.
+type sampleResult struct {
+	outcome Outcome
+	latency float64
+}
+
 // Run executes one query: n completions sampled and evaluated.
 func (r *Runner) Run(q Query) CellStats {
-	gen, ok := r.Family.Generator(q.Model, q.Variant)
-	if !ok {
-		return CellStats{}
-	}
-	// seed derived from the full query coordinates for reproducibility
-	seed := r.Seed
-	seed = seed*31 + int64(len(q.Model))
-	for _, ch := range string(q.Model) {
-		seed = seed*131 + int64(ch)
-	}
-	seed = seed*31 + int64(q.Variant)
-	seed = seed*31 + int64(q.Problem.Number)
-	seed = seed*31 + int64(q.Level)
-	seed = seed*31 + int64(q.Temperature*1000)
-	seed = seed*31 + int64(q.N)
-	rng := rand.New(rand.NewSource(seed))
+	return r.EvaluateBatch([]Query{q})[0]
+}
 
-	st := CellStats{}
-	for _, s := range gen.CompleteN(q.Problem, q.Level, q.Temperature, q.N, rng) {
-		o := r.evaluate(q.Problem, q.Level, s.Completion)
-		st.Samples++
-		if o.Compiles {
-			st.Compiled++
+// EvaluateBatch executes a batch of queries, fanning every (query,
+// sample-index) work item across the worker pool. Per-sample hashed RNGs
+// plus fixed-order reduction make the returned stats byte-identical to a
+// serial run, including float latency sums.
+func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
+	type item struct{ qi, si int }
+	gens := make([]*model.Generator, len(qs))
+	bases := make([]int64, len(qs))
+	results := make([][]sampleResult, len(qs))
+	var items []item
+	for qi, q := range qs {
+		gen, ok := r.Family.Generator(q.Model, q.Variant)
+		if !ok {
+			continue // results[qi] stays nil -> zero CellStats
 		}
-		if o.Passes {
-			st.Passed++
+		gens[qi] = gen
+		bases[qi] = r.querySeed(q)
+		results[qi] = make([]sampleResult, q.N)
+		for si := 0; si < q.N; si++ {
+			items = append(items, item{qi: qi, si: si})
 		}
-		st.SumLat += s.Latency
 	}
-	return st
+
+	run := func(it item) {
+		q := qs[it.qi]
+		s := gens[it.qi].CompleteAt(q.Problem, q.Level, q.Temperature, it.si, bases[it.qi])
+		o := r.evaluate(q.Problem, q.Level, s.Completion)
+		results[it.qi][it.si] = sampleResult{outcome: o, latency: s.Latency}
+	}
+
+	if w := r.workers(); w <= 1 || len(items) <= 1 {
+		for _, it := range items {
+			run(it)
+		}
+	} else {
+		if w > len(items) {
+			w = len(items)
+		}
+		ch := make(chan item, w)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for it := range ch {
+					run(it)
+				}
+			}()
+		}
+		for _, it := range items {
+			ch <- it
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	// Deterministic reduction: per-query, in sample-index order.
+	out := make([]CellStats, len(qs))
+	for qi := range qs {
+		for _, sr := range results[qi] {
+			out[qi].Samples++
+			if sr.outcome.Compiles {
+				out[qi].Compiled++
+			}
+			if sr.outcome.Passes {
+				out[qi].Passed++
+			}
+			out[qi].SumLat += sr.latency
+		}
+	}
+	return out
 }
 
 // Temperatures is the paper's sweep set.

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/problems"
+	"repro/internal/vlog"
+)
+
+// TestParallelMatchesSerial is the determinism contract of the parallel
+// engine: the same seed must produce byte-identical Table III/IV strings
+// whether the sweep runs on one worker or eight. CellStats comparison via
+// == also pins the float latency sums bit-for-bit, not just the rendered
+// digits.
+func TestParallelMatchesSerial(t *testing.T) {
+	f := model.NewFamily(model.Config{Seed: 17, CorpusFiles: 60, VocabSize: 300})
+	serial := NewRunner(f, 99)
+	serial.Workers = 1
+	parallel := NewRunner(f, 99)
+	parallel.Workers = 8
+
+	opts := SweepOptions{N: 5, Temperatures: []float64{0.1, 0.5}}
+	mv := ModelVariant{Model: model.CodeGen16B, Variant: model.FineTuned}
+
+	for _, d := range problems.Difficulties {
+		if a, b := serial.TableIIICell(mv, d, opts), parallel.TableIIICell(mv, d, opts); a != b {
+			t.Errorf("Table III %s: serial %v != parallel %v", d, a, b)
+		}
+		for _, l := range problems.Levels {
+			if a, b := serial.TableIVCell(mv, d, l, opts), parallel.TableIVCell(mv, d, l, opts); a != b {
+				t.Errorf("Table IV %s/%s: serial %v != parallel %v", d, l, a, b)
+			}
+		}
+	}
+
+	q := Query{Model: mv.Model, Variant: mv.Variant,
+		Problem: problems.ByNumber(3), Level: problems.LevelMedium, Temperature: 0.3, N: 25}
+	if a, b := serial.Run(q), parallel.Run(q); a != b {
+		t.Errorf("cell stats diverge: serial %+v parallel %+v", a, b)
+	}
+}
+
+// TestSamplePrefixProperty checks that the hashed per-sample streams give
+// n-sweeps a common prefix: sample i of an n=25 query is the same draw as
+// sample i of the n=5 query at the same coordinates.
+func TestSamplePrefixProperty(t *testing.T) {
+	f := model.NewFamily(model.Config{Seed: 17, CorpusFiles: 60, VocabSize: 300})
+	gen, ok := f.Generator(model.CodeGen2B, model.FineTuned)
+	if !ok {
+		t.Fatal("no generator")
+	}
+	p := problems.ByNumber(4)
+	small := gen.CompleteN(p, problems.LevelLow, 0.3, 5, 777)
+	big := gen.CompleteN(p, problems.LevelLow, 0.3, 25, 777)
+	for i := range small {
+		if small[i] != big[i] {
+			t.Fatalf("sample %d differs between n=5 and n=25 sweeps", i)
+		}
+	}
+}
+
+// TestConcurrentRunnerStress hammers one Runner from many goroutines,
+// mixing Run and EvaluateBatch across overlapping queries. Run under
+// -race (the Makefile's race target) this validates the sharded cache,
+// the per-problem bank once-init, and the shared testbench ASTs.
+func TestConcurrentRunnerStress(t *testing.T) {
+	f := model.NewFamily(model.Config{Seed: 23, CorpusFiles: 60, VocabSize: 300})
+	r := NewRunner(f, 7)
+	r.Workers = 4
+
+	mvs := []ModelVariant{
+		{Model: model.CodeGen2B, Variant: model.FineTuned},
+		{Model: model.CodeGen16B, Variant: model.FineTuned},
+		{Model: model.Codex, Variant: model.Pretrained},
+	}
+	want := map[int]CellStats{}
+	for gi, mv := range mvs {
+		q := Query{Model: mv.Model, Variant: mv.Variant,
+			Problem: problems.ByNumber(gi + 1), Level: problems.LevelLow, Temperature: 0.1, N: 4}
+		want[gi] = r.Run(q)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		gi := g % len(mvs)
+		mv := mvs[gi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := Query{Model: mv.Model, Variant: mv.Variant,
+				Problem: problems.ByNumber(gi + 1), Level: problems.LevelLow, Temperature: 0.1, N: 4}
+			for i := 0; i < 3; i++ {
+				if got := r.Run(q); got != want[gi] {
+					t.Errorf("goroutine %d: stats drifted: %+v != %+v", gi, got, want[gi])
+					return
+				}
+				r.EvaluateBatch([]Query{
+					q,
+					{Model: mv.Model, Variant: mv.Variant,
+						Problem: problems.ByNumber(5), Level: problems.LevelMedium, Temperature: 0.5, N: 2},
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSingleParsePerEvaluation pins the single-parse pipeline: after the
+// problem's testbench AST is cached, each Evaluate call parses exactly one
+// source text (the candidate), including on the passing path that used to
+// re-parse prompt+completion+testbench as a second full text.
+func TestSingleParsePerEvaluation(t *testing.T) {
+	p := problems.ByNumber(6)
+	Evaluate(p, problems.LevelLow, p.RefBody) // warm the testbench cache
+	before := vlog.ParseCalls()
+	o := Evaluate(p, problems.LevelLow, p.RefBody)
+	if n := vlog.ParseCalls() - before; n != 1 {
+		t.Errorf("passing evaluation parsed %d texts, want 1", n)
+	}
+	if !o.Compiles || !o.Passes {
+		t.Fatalf("reference outcome = %+v", o)
+	}
+
+	// compiles-but-fails path: still one parse
+	before = vlog.ParseCalls()
+	o = Evaluate(p, problems.LevelMedium, "  always @(posedge clk) q <= q;\nendmodule\n")
+	if n := vlog.ParseCalls() - before; n != 1 {
+		t.Errorf("near-miss evaluation parsed %d texts, want 1", n)
+	}
+	if !o.Compiles || o.Passes {
+		t.Fatalf("near-miss outcome = %+v", o)
+	}
+
+	// non-compiling path: one parse, then reject
+	before = vlog.ParseCalls()
+	o = Evaluate(p, problems.LevelLow, "  garbage tokens\n")
+	if n := vlog.ParseCalls() - before; n != 1 {
+		t.Errorf("broken evaluation parsed %d texts, want 1", n)
+	}
+	if o.Compiles {
+		t.Fatalf("broken outcome = %+v", o)
+	}
+}
+
+// TestCompileVerdictWithoutTestbench pins the fallback semantics: when the
+// testbench cannot be used, the Compiles verdict must still be derived
+// from the already-parsed DUT source, never from a second full parse.
+func TestCompileVerdictWithoutTestbench(t *testing.T) {
+	// A copy of problem 6 with a corrupted bench exercises the path
+	// directly; the testbench-text cache key keeps the corrupt AST from
+	// leaking into real problem 6 evaluations despite the shared Number.
+	base := problems.ByNumber(6)
+	broken := *base
+	broken.Testbench = "module tb; this does not parse"
+	o := Evaluate(&broken, problems.LevelLow, base.RefBody)
+	if !o.Compiles {
+		t.Error("DUT that compiles must keep Compiles=true when the bench is unusable")
+	}
+	if o.Passes {
+		t.Error("no simulation ran, Passes must be false")
+	}
+}

@@ -31,16 +31,22 @@ func (o SweepOptions) temps() []float64 {
 }
 
 // scenarioStats pools every (problem, level) cell of a scenario at one
-// temperature.
+// temperature. The cells go through EvaluateBatch as one fan-out, so the
+// worker pool sees every (problem, level, sample) item of the scenario at
+// once rather than draining one cell at a time.
 func (r *Runner) scenarioStats(mv ModelVariant, ps []*problems.Problem, levels []problems.Level, temp float64, n int) CellStats {
-	pooled := CellStats{}
+	qs := make([]Query, 0, len(ps)*len(levels))
 	for _, p := range ps {
 		for _, l := range levels {
-			pooled.Add(r.Run(Query{
+			qs = append(qs, Query{
 				Model: mv.Model, Variant: mv.Variant,
 				Problem: p, Level: l, Temperature: temp, N: n,
-			}))
+			})
 		}
+	}
+	pooled := CellStats{}
+	for _, st := range r.EvaluateBatch(qs) {
+		pooled.Add(st)
 	}
 	return pooled
 }

@@ -22,7 +22,8 @@ import (
 	"repro/internal/vlog/elab"
 )
 
-// Harness drives one evaluation configuration.
+// Harness drives one evaluation configuration. The evaluation pool width
+// lives on the Runner (Runner.Workers).
 type Harness struct {
 	Runner *eval.Runner
 	Opts   eval.SweepOptions
@@ -35,6 +36,7 @@ type Options struct {
 	CorpusFiles int // synthetic corpus scale; 0 = family default
 	Sweep       eval.SweepOptions
 	Corpus      model.CorpusKind
+	Workers     int // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
 }
 
 // New builds a harness with a fresh model family.
@@ -44,7 +46,9 @@ func New(o Options) *Harness {
 		CorpusFiles: o.CorpusFiles,
 		Corpus:      o.Corpus,
 	})
-	return &Harness{Runner: eval.NewRunner(fam, o.Seed), Opts: o.Sweep, Seed: o.Seed}
+	runner := eval.NewRunner(fam, o.Seed)
+	runner.Workers = o.Workers
+	return &Harness{Runner: runner, Opts: o.Sweep, Seed: o.Seed}
 }
 
 // paperVariantOrder lists Tables III/IV rows in the paper's order.
@@ -269,8 +273,8 @@ func (h *Harness) HeadlineReport() string {
 // Ablation reproduces the Section VI corpus ablation: 16B fine-tuned on
 // GitHub only vs GitHub plus textbooks.
 func (h *Harness) Ablation() string {
-	ghOnly := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubOnly})
-	withBooks := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubPlusBooks})
+	ghOnly := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubOnly, Workers: h.Runner.Workers})
+	withBooks := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubPlusBooks, Workers: h.Runner.Workers})
 	mv := eval.ModelVariant{Model: model.CodeGen16B, Variant: model.FineTuned}
 	a := ghOnly.Runner.Aggregate(mv, h.Opts).PassRate()
 	b := withBooks.Runner.Aggregate(mv, h.Opts).PassRate()

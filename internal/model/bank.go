@@ -24,10 +24,19 @@ import (
 // Verification runs the real pipeline once at bank construction, so a
 // sampled "correct" completion is guaranteed to land in the measured
 // pass bucket for the right reason: it genuinely passes simulation.
+// Locking: the bank-wide mutex guards only the slot map; each problem's
+// pools build under a per-problem sync.Once, so two workers evaluating
+// different problems never serialize on each other's (expensive, real
+// compile+simulate) bank construction.
 type VariantBank struct {
-	mu      sync.Mutex
-	entries map[int]*bankEntry
-	seed    int64
+	mu    sync.Mutex
+	slots map[int]*bankSlot
+	seed  int64
+}
+
+type bankSlot struct {
+	once sync.Once
+	e    *bankEntry
 }
 
 type bankEntry struct {
@@ -38,18 +47,19 @@ type bankEntry struct {
 
 // NewVariantBank creates an empty bank; pools build lazily per problem.
 func NewVariantBank(seed int64) *VariantBank {
-	return &VariantBank{entries: map[int]*bankEntry{}, seed: seed}
+	return &VariantBank{slots: map[int]*bankSlot{}, seed: seed}
 }
 
 func (b *VariantBank) entry(p *problems.Problem) *bankEntry {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if e, ok := b.entries[p.Number]; ok {
-		return e
+	s, ok := b.slots[p.Number]
+	if !ok {
+		s = &bankSlot{}
+		b.slots[p.Number] = s
 	}
-	e := buildEntry(p, b.seed)
-	b.entries[p.Number] = e
-	return e
+	b.mu.Unlock()
+	s.once.Do(func() { s.e = buildEntry(p, b.seed) })
+	return s.e
 }
 
 // Correct draws a verified-passing completion.
@@ -74,9 +84,15 @@ func (b *VariantBank) Broken(p *problems.Problem, rng *rand.Rand) string {
 	return e.broken[rng.Intn(len(e.broken))]
 }
 
-// buildEntry constructs and verifies the pools for one problem.
+// buildEntry constructs and verifies the pools for one problem. The
+// problem's testbench is parsed once up front and composed with each
+// candidate's AST, mirroring eval's single-parse pipeline.
 func buildEntry(p *problems.Problem, seed int64) *bankEntry {
 	rng := rand.New(rand.NewSource(seed + int64(p.Number)*7919))
+	tb, tbErr := vlog.Parse(p.Testbench)
+	check := func(completion string) verdict {
+		return verdictWith(p, completion, tb, tbErr)
+	}
 	e := &bankEntry{}
 
 	// --- correct pool: reference body restyles, verified to pass
@@ -89,7 +105,7 @@ func buildEntry(p *problems.Problem, seed int64) *bankEntry {
 		if c == "" {
 			continue
 		}
-		if verdictOf(p, c) == verdictPass {
+		if check(c) == verdictPass {
 			e.correct = append(e.correct, c)
 		}
 	}
@@ -109,7 +125,7 @@ func buildEntry(p *problems.Problem, seed int64) *bankEntry {
 		if !ok {
 			continue
 		}
-		switch verdictOf(p, body) {
+		switch check(body) {
 		case verdictFail:
 			e.nearMiss = append(e.nearMiss, body)
 		}
@@ -123,16 +139,16 @@ func buildEntry(p *problems.Problem, seed int64) *bankEntry {
 			continue
 		}
 		body := base[:cut]
-		if verdictOf(p, body) == verdictNoCompile {
+		if check(body) == verdictNoCompile {
 			e.broken = append(e.broken, body)
 		}
 	}
 	corrupted := strings.Replace(base, "endmodule", "endmodul", 1)
-	if verdictOf(p, corrupted) == verdictNoCompile {
+	if check(corrupted) == verdictNoCompile {
 		e.broken = append(e.broken, corrupted)
 	}
 	undeclared := "  assign undeclared_net_xyz = some_other_net + 1;\nendmodule\n"
-	if verdictOf(p, undeclared) == verdictNoCompile {
+	if check(undeclared) == verdictNoCompile {
 		e.broken = append(e.broken, undeclared)
 	}
 	if len(e.broken) == 0 {
@@ -149,8 +165,10 @@ const (
 	verdictPass
 )
 
-// verdictOf runs the real pipeline on prompt(L)+completion.
-func verdictOf(p *problems.Problem, completion string) verdict {
+// verdictWith runs the real pipeline on prompt(L)+completion, composing
+// the candidate's AST with the pre-parsed testbench so the bench text is
+// parsed once per problem, not once per candidate.
+func verdictWith(p *problems.Problem, completion string, tb *vlog.SourceFile, tbErr error) verdict {
 	src := p.CompleteWith(problems.LevelLow, completion)
 	f, err := vlog.Parse(src)
 	if err != nil {
@@ -159,11 +177,10 @@ func verdictOf(p *problems.Problem, completion string) verdict {
 	if elab.CompileCheck(f) != nil {
 		return verdictNoCompile
 	}
-	full, err := vlog.Parse(src + "\n" + p.Testbench)
-	if err != nil {
+	if tbErr != nil {
 		return verdictNoCompile
 	}
-	d, err := elab.Elaborate(full, "tb", elab.Options{})
+	d, err := elab.Elaborate(vlog.Compose(f, tb), "tb", elab.Options{})
 	if err != nil {
 		return verdictNoCompile
 	}
@@ -175,6 +192,14 @@ func verdictOf(p *problems.Problem, completion string) verdict {
 		return verdictPass
 	}
 	return verdictFail
+}
+
+// verdictOf runs the real pipeline on prompt(L)+completion, parsing the
+// problem's testbench itself (convenience for one-off checks and tests;
+// buildEntry pre-parses the bench once instead).
+func verdictOf(p *problems.Problem, completion string) verdict {
+	tb, tbErr := vlog.Parse(p.Testbench)
+	return verdictWith(p, completion, tb, tbErr)
 }
 
 // reprintBody reparses the reference and prints its behavioural items in

@@ -72,7 +72,7 @@ func TestCompleteNCount(t *testing.T) {
 	f := testFamily(t)
 	g, _ := f.Generator(CodeGen2B, Pretrained)
 	p := problems.ByNumber(3)
-	out := g.CompleteN(p, problems.LevelHigh, 0.3, 25, rand.New(rand.NewSource(1)))
+	out := g.CompleteN(p, problems.LevelHigh, 0.3, 25, 1)
 	if len(out) != 25 {
 		t.Fatalf("got %d samples", len(out))
 	}

@@ -3,6 +3,7 @@ package model
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/bpe"
 	"repro/internal/corpus"
@@ -77,12 +78,18 @@ type Family struct {
 	verilogText []string // normalized fine-tuning stream
 	naturalText []string // generic pre-training stream
 
-	lms map[lmKey]*ngram.Model
+	lmMu sync.Mutex        // guards the slot map only
+	lms  map[lmKey]*lmSlot // per-key training runs under the slot's once
 }
 
 type lmKey struct {
 	order int
 	v     Variant
+}
+
+type lmSlot struct {
+	once sync.Once
+	m    *ngram.Model
 }
 
 // NewFamily builds the shared substrate: runs the corpus pipeline, trains
@@ -118,7 +125,7 @@ func NewFamily(cfg Config) *Family {
 		bank:        NewVariantBank(cfg.Seed),
 		verilogText: vtext,
 		naturalText: natural,
-		lms:         map[lmKey]*ngram.Model{},
+		lms:         map[lmKey]*lmSlot{},
 	}
 	f.tok = bpe.Train(append(append([]string{}, vtext...), natural...), cfg.vocabSize())
 	return f
@@ -135,19 +142,25 @@ func (f *Family) CorpusDocs() int { return len(f.verilogText) }
 
 func (f *Family) lm(order int, v Variant) *ngram.Model {
 	key := lmKey{order: order, v: v}
-	if m, ok := f.lms[key]; ok {
-		return m
+	f.lmMu.Lock()
+	s, ok := f.lms[key]
+	if !ok {
+		s = &lmSlot{}
+		f.lms[key] = s
 	}
-	m := ngram.New(order)
-	texts := f.naturalText
-	if v == FineTuned {
-		texts = f.verilogText
-	}
-	for _, t := range texts {
-		m.Train(f.tok.Encode(t))
-	}
-	f.lms[key] = m
-	return m
+	f.lmMu.Unlock()
+	s.once.Do(func() {
+		m := ngram.New(order)
+		texts := f.naturalText
+		if v == FineTuned {
+			texts = f.verilogText
+		}
+		for _, t := range texts {
+			m.Train(f.tok.Encode(t))
+		}
+		s.m = m
+	})
+	return s.m
 }
 
 // Generator is one (model, variant) pair ready to produce completions.
@@ -233,11 +246,33 @@ func (g *Generator) Complete(p *problems.Problem, level problems.Level, temperat
 	}
 }
 
+// SampleSeed derives the RNG seed for sample idx of a query from the
+// query's base seed. splitmix64 over (base, idx) gives every sample an
+// independent, well-dispersed stream, so sample idx draws the same
+// completion whether it is produced serially or by any parallel worker —
+// the determinism contract of the parallel evaluation engine (see
+// DESIGN.md, "Determinism under parallelism").
+func SampleSeed(base int64, idx int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// CompleteAt produces sample idx of the query identified by baseSeed. The
+// draw depends only on (baseSeed, idx), never on the other samples.
+func (g *Generator) CompleteAt(p *problems.Problem, level problems.Level, temperature float64, idx int, baseSeed int64) Sample {
+	rng := rand.New(rand.NewSource(SampleSeed(baseSeed, idx)))
+	return g.Complete(p, level, temperature, rng)
+}
+
 // CompleteN produces n completions (the paper's completions-per-prompt).
-func (g *Generator) CompleteN(p *problems.Problem, level problems.Level, temperature float64, n int, rng *rand.Rand) []Sample {
+// Each sample gets its own hashed RNG stream; the result is byte-identical
+// to evaluating the indices out of order or in parallel.
+func (g *Generator) CompleteN(p *problems.Problem, level problems.Level, temperature float64, n int, baseSeed int64) []Sample {
 	out := make([]Sample, n)
 	for i := range out {
-		out[i] = g.Complete(p, level, temperature, rng)
+		out[i] = g.CompleteAt(p, level, temperature, i, baseSeed)
 	}
 	return out
 }

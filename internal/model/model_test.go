@@ -191,8 +191,8 @@ func TestDeterminismAcrossFamilies(t *testing.T) {
 	g1, _ := f1.Generator(CodeGen2B, FineTuned)
 	g2, _ := f2.Generator(CodeGen2B, FineTuned)
 	p := problems.ByNumber(4)
-	s1 := g1.CompleteN(p, problems.LevelHigh, 0.3, 5, rand.New(rand.NewSource(1)))
-	s2 := g2.CompleteN(p, problems.LevelHigh, 0.3, 5, rand.New(rand.NewSource(1)))
+	s1 := g1.CompleteN(p, problems.LevelHigh, 0.3, 5, 1)
+	s2 := g2.CompleteN(p, problems.LevelHigh, 0.3, 5, 1)
 	for i := range s1 {
 		if s1[i].Completion != s2[i].Completion || s1[i].Mechanism != s2[i].Mechanism {
 			t.Fatal("generation not deterministic across equal-seed families")

@@ -446,6 +446,22 @@ type SourceFile struct {
 	Modules []*Module
 }
 
+// Compose returns a SourceFile holding the modules of each input file in
+// order, as if the sources had been concatenated into one compilation
+// unit. Inputs are not modified; module pointers are shared, so the
+// result must be treated as read-only alongside its inputs.
+func Compose(files ...*SourceFile) *SourceFile {
+	n := 0
+	for _, f := range files {
+		n += len(f.Modules)
+	}
+	out := &SourceFile{Modules: make([]*Module, 0, n)}
+	for _, f := range files {
+		out.Modules = append(out.Modules, f.Modules...)
+	}
+	return out
+}
+
 // FindModule returns the module named name, or nil.
 func (f *SourceFile) FindModule(name string) *Module {
 	for _, m := range f.Modules {

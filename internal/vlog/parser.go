@@ -3,9 +3,18 @@ package vlog
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/vnum"
 )
+
+// parseCalls counts Parse invocations; the evaluation pipeline's
+// single-parse guarantee is asserted against it in tests.
+var parseCalls atomic.Uint64
+
+// ParseCalls returns the number of Parse invocations so far (monotonic,
+// process-wide). Intended for tests and perf accounting, not control flow.
+func ParseCalls() uint64 { return parseCalls.Load() }
 
 // ParseError is a syntax error with a source position.
 type ParseError struct {
@@ -23,6 +32,7 @@ type Parser struct {
 
 // Parse parses a complete source text into a SourceFile.
 func Parse(src string) (*SourceFile, error) {
+	parseCalls.Add(1)
 	toks, err := LexAll(src)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,75 @@
+package vnum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSmallWidthZeroAlloc pins the inline-representation guarantee: values
+// up to 64 bits wide never touch the heap in the arithmetic/logic ops that
+// dominate the simulator's inner loop.
+func TestSmallWidthZeroAlloc(t *testing.T) {
+	x := FromUint64(64, 0xDEADBEEF)
+	y := FromUint64(64, 0x12345678)
+	ops := map[string]func(){
+		"Add": func() { Add(x, y) },
+		"Sub": func() { Sub(x, y) },
+		"Mul": func() { Mul(x, y) },
+		"And": func() { And(x, y) },
+		"Or":  func() { Or(x, y) },
+		"Xor": func() { Xor(x, y) },
+		"Not": func() { Not(x) },
+		"Eq":  func() { Eq(x, y) },
+		"Lt":  func() { Lt(x, y) },
+		"Shl": func() { Shl(x, FromUint64(8, 3)) },
+	}
+	for name, op := range ops {
+		if n := testing.AllocsPerRun(100, op); n != 0 {
+			t.Errorf("%s on 64-bit operands: %.1f allocs/op, want 0", name, n)
+		}
+	}
+}
+
+// TestSmallWideEquivalence cross-checks the inline fast path against the
+// slice representation: an operation on w-bit values must agree with the
+// same operation computed at 128 bits and truncated back.
+func TestSmallWideEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	binOps := map[string]func(Value, Value) Value{
+		"Add": Add, "Sub": Sub, "Mul": Mul,
+		"And": And, "Or": Or, "Xor": Xor,
+	}
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + rng.Intn(64)
+		x := FromUint64(w, rng.Uint64())
+		y := FromUint64(w, rng.Uint64())
+		xw := x.Resize(128).Resize(w) // round-trips through the wide representation
+		yw := y.Resize(128).Resize(w)
+		if !x.Equal(xw) || !y.Equal(yw) {
+			t.Fatalf("w=%d: resize round-trip changed value", w)
+		}
+		for name, op := range binOps {
+			small := op(x, y)
+			// compute in the wide representation, truncate to w
+			wide := op(x.Resize(65).Resize(w).Resize(128), y.Resize(65).Resize(w).Resize(128)).Resize(w)
+			if !small.Equal(wide) {
+				t.Fatalf("w=%d %s: small %s != wide %s", w, name, small, wide)
+			}
+		}
+	}
+}
+
+// TestWideOpsStillCorrect spot-checks multi-word arithmetic after the
+// representation split.
+func TestWideOpsStillCorrect(t *testing.T) {
+	x := FromUint64(128, ^uint64(0))
+	one := FromUint64(128, 1)
+	sum := Add(x, one)
+	if got, want := sum.HexString(), "00000000000000010000000000000000"; got != want {
+		t.Fatalf("128-bit carry: %s, want %s", got, want)
+	}
+	sq := Mul(FromUint64(128, 1<<63), FromUint64(128, 4))
+	if got, want := sq.HexString(), "00000000000000020000000000000000"; got != want {
+		t.Fatalf("128-bit mul: %s, want %s", got, want)
+	}
+}

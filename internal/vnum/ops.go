@@ -35,13 +35,17 @@ func Add(x, y Value) Value {
 		r.signed = s
 		return r
 	}
-	out := Zero(w)
+	out := newVal(w)
 	out.signed = s
-	var carry uint64
-	for i := range out.a {
-		sum, c1 := bits.Add64(xr.a[i], yr.a[i], carry)
-		out.a[i] = sum
-		carry = c1
+	if out.as == nil {
+		out.a0 = xr.a0 + yr.a0
+	} else {
+		var carry uint64
+		for i := 0; i < out.nwords(); i++ {
+			sum, c1 := bits.Add64(xr.aw(i), yr.aw(i), carry)
+			out.setaw(i, sum)
+			carry = c1
+		}
 	}
 	out.normalize()
 	return out
@@ -55,13 +59,17 @@ func Sub(x, y Value) Value {
 		r.signed = s
 		return r
 	}
-	out := Zero(w)
+	out := newVal(w)
 	out.signed = s
-	var borrow uint64
-	for i := range out.a {
-		d, b1 := bits.Sub64(xr.a[i], yr.a[i], borrow)
-		out.a[i] = d
-		borrow = b1
+	if out.as == nil {
+		out.a0 = xr.a0 - yr.a0
+	} else {
+		var borrow uint64
+		for i := 0; i < out.nwords(); i++ {
+			d, b1 := bits.Sub64(xr.aw(i), yr.aw(i), borrow)
+			out.setaw(i, d)
+			borrow = b1
+		}
 	}
 	out.normalize()
 	return out
@@ -82,16 +90,23 @@ func Mul(x, y Value) Value {
 		r.signed = s
 		return r
 	}
-	out := Zero(w)
+	out := newVal(w)
 	out.signed = s
+	if out.as == nil {
+		out.a0 = xr.a0 * yr.a0
+		out.normalize()
+		return out
+	}
 	// Schoolbook multiply, truncated to w bits.
-	for i := 0; i < len(xr.a); i++ {
+	n := out.nwords()
+	for i := 0; i < n; i++ {
 		var carry uint64
-		for j := 0; i+j < len(out.a); j++ {
-			hi, lo := bits.Mul64(xr.a[i], yr.a[j])
-			var c1, c2 uint64
-			out.a[i+j], c1 = bits.Add64(out.a[i+j], lo, 0)
-			out.a[i+j], c2 = bits.Add64(out.a[i+j], carry, 0)
+		for j := 0; i+j < n; j++ {
+			hi, lo := bits.Mul64(xr.aw(i), yr.aw(j))
+			var acc, c1, c2 uint64
+			acc, c1 = bits.Add64(out.aw(i+j), lo, 0)
+			acc, c2 = bits.Add64(acc, carry, 0)
+			out.setaw(i+j, acc)
 			carry = hi + c1 + c2
 		}
 	}
@@ -102,7 +117,7 @@ func Mul(x, y Value) Value {
 // absU64 interprets v (already extended to w bits) as a magnitude for signed
 // division; it reports the magnitude and sign. Only defined for w <= 64.
 func absU64(v Value, s bool) (mag uint64, neg bool) {
-	u := v.a[0]
+	u := v.aw(0)
 	if s && v.width <= 64 && v.width > 0 && u&(1<<uint(v.width-1)) != 0 {
 		if v.width < 64 {
 			u |= ^uint64(0) << uint(v.width)
@@ -349,8 +364,8 @@ func Eq(x, y Value) Value {
 	if !xr.IsKnown() || !yr.IsKnown() {
 		return bitToVal(BX)
 	}
-	for i := range xr.a {
-		if xr.a[i] != yr.a[i] {
+	for i := 0; i < xr.nwords(); i++ {
+		if xr.aw(i) != yr.aw(i) {
 			return Bool(false)
 		}
 	}
@@ -363,8 +378,8 @@ func Neq(x, y Value) Value { return LogNot(Eq(x, y)) }
 // CaseEq returns x === y: exact four-state match, always 0/1.
 func CaseEq(x, y Value) Value {
 	xr, yr, _, _ := extend2(x, y)
-	for i := range xr.a {
-		if xr.a[i] != yr.a[i] || xr.b[i] != yr.b[i] {
+	for i := 0; i < xr.nwords(); i++ {
+		if xr.aw(i) != yr.aw(i) || xr.bw(i) != yr.bw(i) {
 			return Bool(false)
 		}
 	}
@@ -386,11 +401,11 @@ func cmpKnown(x, y Value, signed bool) int {
 			return 1
 		}
 	}
-	for i := len(x.a) - 1; i >= 0; i-- {
-		if x.a[i] < y.a[i] {
+	for i := x.nwords() - 1; i >= 0; i-- {
+		if x.aw(i) < y.aw(i) {
 			return -1
 		}
-		if x.a[i] > y.a[i] {
+		if x.aw(i) > y.aw(i) {
 			return 1
 		}
 	}

@@ -5,6 +5,11 @@
 // encoding: (b=0,a=0)→0, (b=0,a=1)→1, (b=1,a=0)→z, (b=1,a=1)→x. Values are
 // immutable from the caller's point of view: all operations return fresh
 // Values and never alias operand storage.
+//
+// Values up to 64 bits wide — the overwhelming majority in the simulator's
+// inner loop — store their planes inline in two uint64 fields, so
+// constructing and operating on them performs no heap allocation. Wider
+// values spill to slices.
 package vnum
 
 import (
@@ -43,10 +48,15 @@ func (b Bit) IsKnown() bool { return b == B0 || b == B1 }
 
 // Value is an arbitrary-width four-state vector. The zero Value is a
 // one-bit unknown (x); use the constructors for anything else.
+//
+// Representation: widths <= 64 keep the aval/bval planes in the inline
+// a0/b0 words (as/bs stay nil); wider values use the as/bs slices (LSB
+// word first). Tail bits past the width are always masked to zero.
 type Value struct {
 	width  int
 	signed bool
-	a, b   []uint64 // aval/bval planes, LSB first, tail bits masked to zero
+	a0, b0 uint64   // inline planes when width <= 64
+	as, bs []uint64 // slice planes when width > 64
 }
 
 func words(width int) int {
@@ -56,12 +66,70 @@ func words(width int) int {
 	return (width + 63) / 64
 }
 
-// New returns a width-bit value with every bit set to fill.
-func New(width int, fill Bit) Value {
+// newVal returns an all-zero width-bit value, allocating plane slices only
+// when the width does not fit the inline words.
+func newVal(width int) Value {
 	if width <= 0 {
 		width = 1
 	}
-	v := Value{width: width, a: make([]uint64, words(width)), b: make([]uint64, words(width))}
+	v := Value{width: width}
+	if width > 64 {
+		v.as = make([]uint64, words(width))
+		v.bs = make([]uint64, words(width))
+	}
+	return v
+}
+
+// nwords returns the number of 64-bit plane words.
+func (v *Value) nwords() int { return words(v.width) }
+
+// aw reads aval plane word i.
+func (v *Value) aw(i int) uint64 {
+	if v.as == nil {
+		if i == 0 {
+			return v.a0
+		}
+		return 0
+	}
+	return v.as[i]
+}
+
+// bw reads bval plane word i.
+func (v *Value) bw(i int) uint64 {
+	if v.bs == nil {
+		if i == 0 {
+			return v.b0
+		}
+		return 0
+	}
+	return v.bs[i]
+}
+
+// setaw writes aval plane word i.
+func (v *Value) setaw(i int, u uint64) {
+	if v.as == nil {
+		if i == 0 {
+			v.a0 = u
+		}
+		return
+	}
+	v.as[i] = u
+}
+
+// setbw writes bval plane word i.
+func (v *Value) setbw(i int, u uint64) {
+	if v.bs == nil {
+		if i == 0 {
+			v.b0 = u
+		}
+		return
+	}
+	v.bs[i] = u
+}
+
+// New returns a width-bit value with every bit set to fill.
+func New(width int, fill Bit) Value {
+	v := newVal(width)
 	var aw, bw uint64
 	switch fill {
 	case B1:
@@ -71,9 +139,9 @@ func New(width int, fill Bit) Value {
 	case BZ:
 		bw = ^uint64(0)
 	}
-	for i := range v.a {
-		v.a[i] = aw
-		v.b[i] = bw
+	for i := 0; i < v.nwords(); i++ {
+		v.setaw(i, aw)
+		v.setbw(i, bw)
 	}
 	v.normalize()
 	return v
@@ -90,13 +158,8 @@ func AllZ(width int) Value { return New(width, BZ) }
 
 // FromUint64 returns a width-bit value holding u (truncated to width).
 func FromUint64(width int, u uint64) Value {
-	v := Zero(width)
-	v.a[0] = u
-	if len(v.a) > 1 {
-		for i := 1; i < len(v.a); i++ {
-			v.a[i] = 0
-		}
-	}
+	v := newVal(width)
+	v.setaw(0, u)
 	v.normalize()
 	return v
 }
@@ -104,12 +167,11 @@ func FromUint64(width int, u uint64) Value {
 // FromInt64 returns a width-bit signed value holding i (two's complement,
 // truncated to width). The result is marked signed.
 func FromInt64(width int, i int64) Value {
-	v := Zero(width)
-	u := uint64(i)
-	v.a[0] = u
+	v := newVal(width)
+	v.setaw(0, uint64(i))
 	if i < 0 {
-		for w := 1; w < len(v.a); w++ {
-			v.a[w] = ^uint64(0)
+		for w := 1; w < v.nwords(); w++ {
+			v.setaw(w, ^uint64(0))
 		}
 	}
 	v.signed = true
@@ -161,9 +223,13 @@ func Bool(t bool) Value {
 }
 
 func (v Value) clone() Value {
-	c := Value{width: v.width, signed: v.signed, a: make([]uint64, len(v.a)), b: make([]uint64, len(v.b))}
-	copy(c.a, v.a)
-	copy(c.b, v.b)
+	c := v
+	if v.as != nil {
+		c.as = make([]uint64, len(v.as))
+		c.bs = make([]uint64, len(v.bs))
+		copy(c.as, v.as)
+		copy(c.bs, v.bs)
+	}
 	return c
 }
 
@@ -171,9 +237,9 @@ func (v *Value) normalize() {
 	rem := uint(v.width % 64)
 	if rem != 0 {
 		mask := (uint64(1) << rem) - 1
-		last := len(v.a) - 1
-		v.a[last] &= mask
-		v.b[last] &= mask
+		last := v.nwords() - 1
+		v.setaw(last, v.aw(last)&mask)
+		v.setbw(last, v.bw(last)&mask)
 	}
 }
 
@@ -202,8 +268,8 @@ func (v Value) Bit(i int) Bit {
 	if i < 0 || i >= v.width {
 		return BX
 	}
-	av := v.a[i/64] >> (uint(i) % 64) & 1
-	bv := v.b[i/64] >> (uint(i) % 64) & 1
+	av := v.aw(i/64) >> (uint(i) % 64) & 1
+	bv := v.bw(i/64) >> (uint(i) % 64) & 1
 	switch {
 	case bv == 0 && av == 0:
 		return B0
@@ -221,17 +287,19 @@ func (v *Value) setBit(i int, bit Bit) {
 		return
 	}
 	w, s := i/64, uint(i)%64
-	v.a[w] &^= 1 << s
-	v.b[w] &^= 1 << s
+	a := v.aw(w) &^ (1 << s)
+	b := v.bw(w) &^ (1 << s)
 	switch bit {
 	case B1:
-		v.a[w] |= 1 << s
+		a |= 1 << s
 	case BX:
-		v.a[w] |= 1 << s
-		v.b[w] |= 1 << s
+		a |= 1 << s
+		b |= 1 << s
 	case BZ:
-		v.b[w] |= 1 << s
+		b |= 1 << s
 	}
+	v.setaw(w, a)
+	v.setbw(w, b)
 }
 
 // WithBit returns a copy of v with bit i set to bit.
@@ -243,7 +311,10 @@ func (v Value) WithBit(i int, bit Bit) Value {
 
 // IsKnown reports whether every bit is 0 or 1.
 func (v Value) IsKnown() bool {
-	for _, w := range v.b {
+	if v.bs == nil {
+		return v.b0 == 0
+	}
+	for _, w := range v.bs {
 		if w != 0 {
 			return false
 		}
@@ -253,8 +324,8 @@ func (v Value) IsKnown() bool {
 
 // HasZ reports whether any bit is z.
 func (v Value) HasZ() bool {
-	for i := range v.b {
-		if v.b[i]&^v.a[i] != 0 {
+	for i := 0; i < v.nwords(); i++ {
+		if v.bw(i)&^v.aw(i) != 0 {
 			return true
 		}
 	}
@@ -266,8 +337,8 @@ func (v Value) IsZero() bool {
 	if !v.IsKnown() {
 		return false
 	}
-	for _, w := range v.a {
-		if w != 0 {
+	for i := 0; i < v.nwords(); i++ {
+		if v.aw(i) != 0 {
 			return false
 		}
 	}
@@ -280,12 +351,12 @@ func (v Value) Uint64() (uint64, bool) {
 	if !v.IsKnown() {
 		return 0, false
 	}
-	for i := 1; i < len(v.a); i++ {
-		if v.a[i] != 0 {
-			return v.a[0], false
+	for i := 1; i < v.nwords(); i++ {
+		if v.aw(i) != 0 {
+			return v.aw(0), false
 		}
 	}
-	return v.a[0], true
+	return v.aw(0), true
 }
 
 // Int64 returns the value as a signed 64-bit integer (sign-extended from
@@ -295,7 +366,7 @@ func (v Value) Int64() (int64, bool) {
 		u, ok := v.Uint64()
 		return int64(u), ok && v.width <= 64
 	}
-	u := v.a[0]
+	u := v.aw(0)
 	if v.signed && v.width < 64 && u&(1<<uint(v.width-1)) != 0 {
 		u |= ^uint64(0) << uint(v.width)
 	}
@@ -308,8 +379,8 @@ func (v Value) Equal(o Value) bool {
 	if v.width != o.width {
 		return false
 	}
-	for i := range v.a {
-		if v.a[i] != o.a[i] || v.b[i] != o.b[i] {
+	for i := 0; i < v.nwords(); i++ {
+		if v.aw(i) != o.aw(i) || v.bw(i) != o.bw(i) {
 			return false
 		}
 	}
@@ -323,11 +394,12 @@ func (v Value) Resize(width int) Value {
 	if width <= 0 {
 		width = 1
 	}
-	out := Value{width: width, signed: v.signed, a: make([]uint64, words(width)), b: make([]uint64, words(width))}
+	out := newVal(width)
+	out.signed = v.signed
 	n := min(width, v.width)
 	for i := 0; i < words(n); i++ {
-		out.a[i] = v.a[i]
-		out.b[i] = v.b[i]
+		out.setaw(i, v.aw(i))
+		out.setbw(i, v.bw(i))
 	}
 	out.normalize()
 	if width > v.width && v.signed {
@@ -461,7 +533,10 @@ func (v Value) DecString() string {
 	}
 	// Multi-word decimal via repeated division by 10.
 	var digits []byte
-	cur := append([]uint64(nil), v.a...)
+	cur := make([]uint64, v.nwords())
+	for i := range cur {
+		cur[i] = v.aw(i)
+	}
 	for {
 		var rem uint64
 		nonzero := false
