@@ -4,14 +4,17 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test race bench clean
+.PHONY: all build vet test race bench clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
+	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
 
 # race-checks the packages with concurrency: the parallel evaluation

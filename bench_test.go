@@ -310,6 +310,40 @@ func BenchmarkFullPipelineEvaluation(b *testing.B) {
 	}
 }
 
+// ---- compiled expression plan ablation (DESIGN.md Section 7) ---------------
+
+// benchSimEngine times the same clocked test-bench simulation as
+// BenchmarkSchedulerRegions under one expression engine: compiled plans
+// (the default) vs the AST-walking interpreter. The pair is the ablation
+// for the plan compiler — the delta is pure expression-evaluation cost,
+// since parse happens outside the loop and both engines share the
+// elaborator and scheduler.
+func benchSimEngine(b *testing.B, interpret bool) {
+	p := problems.ByNumber(6)
+	src := p.ReferenceSource() + "\n" + p.Testbench
+	f, err := vlog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := elab.Elaborate(f, "tb", elab.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.New(d, sim.Options{Interpret: interpret}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !problems.PassVerdict(res.Output) {
+			b.Fatal("reference failed")
+		}
+	}
+}
+
+func BenchmarkCompiledEval(b *testing.B)    { benchSimEngine(b, false) }
+func BenchmarkInterpretedEval(b *testing.B) { benchSimEngine(b, true) }
+
 // ---- parallel evaluation engine benches (DESIGN.md Section 6) --------------
 
 // benchTableIIICold regenerates Table III on a fresh Runner per iteration —

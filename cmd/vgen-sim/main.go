@@ -26,6 +26,7 @@ func main() {
 	compileOnly := flag.Bool("compile-only", false, "stop after the compile check")
 	seed := flag.Int64("seed", 1, "$random seed")
 	vcdPath := flag.String("vcd", "", "write a waveform dump to this file")
+	interp := flag.Bool("interp", false, "evaluate by AST interpretation instead of compiled plans (debug)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -61,7 +62,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vgen-sim: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := sim.New(d, sim.Options{MaxTime: *maxTime, RandomSeed: *seed, DumpVCD: *vcdPath != ""}).Run()
+	res, err := sim.New(d, sim.Options{
+		MaxTime: *maxTime, RandomSeed: *seed, DumpVCD: *vcdPath != "", Interpret: *interp,
+	}).Run()
 	fmt.Print(res.Output)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vgen-sim: %v\n", err)

@@ -24,13 +24,56 @@ import (
 )
 
 // Truncate cuts a completion after the first endmodule keyword, mirroring
-// the paper's truncation of generations at `end`/`endmodule`.
+// the paper's truncation of generations at `end`/`endmodule`. Only the
+// keyword proper terminates the body: "endmodule" inside a line or block
+// comment, a string literal, or an identifier (my_endmodule, endmodule2)
+// is plain text. A naive substring search here used to chop a passing
+// candidate at a comment that merely mentioned endmodule, silently
+// flipping its verdict to non-compiling.
 func Truncate(completion string) string {
-	idx := strings.Index(completion, "endmodule")
-	if idx < 0 {
-		return completion
+	if i := endmoduleKeywordIndex(completion); i >= 0 {
+		return completion[:i+len("endmodule")] + "\n"
 	}
-	return completion[:idx+len("endmodule")] + "\n"
+	return completion
+}
+
+// endmoduleKeywordIndex scans for the first endmodule at a token boundary
+// outside comments and strings, or -1.
+func endmoduleKeywordIndex(s string) int {
+	isWord := func(b byte) bool {
+		return b == '_' || b == '$' ||
+			(b >= '0' && b <= '9') || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+	}
+	for i := 0; i < len(s); {
+		switch {
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '*':
+			i += 2
+			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
+				i++
+			}
+			i += 2 // past the closer (or the end on an unterminated comment)
+		case s[i] == '"':
+			i++
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+		case strings.HasPrefix(s[i:], "endmodule") &&
+			(i == 0 || !isWord(s[i-1])) &&
+			(i+len("endmodule") >= len(s) || !isWord(s[i+len("endmodule")])):
+			return i
+		default:
+			i++
+		}
+	}
+	return -1
 }
 
 // Outcome is the verdict for one completion.
@@ -45,7 +88,20 @@ type Outcome struct {
 // single parse still serves every sample of every sweep, so the
 // completion is the only text parsed per evaluation. Elaboration and
 // simulation only read the AST, so sharing it across workers is safe.
-var tbCache sync.Map // testbench source text -> *tbEntry
+//
+// The cache is bounded: it outlives every Runner, and an unbounded map
+// (the previous sync.Map) leaks parsed ASTs forever in long-lived
+// processes that churn through many distinct benches. FIFO eviction at
+// tbCacheCap keeps the steady state (the benchmark's fixed problem set)
+// fully cached while capping worst-case retention; an evicted-and-reused
+// bench only costs one re-parse.
+const tbCacheCap = 128
+
+var tbCache = struct {
+	mu    sync.RWMutex
+	m     map[string]*tbEntry
+	order []string // insertion order, for eviction
+}{m: map[string]*tbEntry{}}
 
 type tbEntry struct {
 	once sync.Once
@@ -53,14 +109,26 @@ type tbEntry struct {
 	err  error
 }
 
-// testbenchAST returns the problem's testbench parsed exactly once. The
-// Load-first probe keeps the steady-state hit path allocation-free.
+// testbenchAST returns the problem's testbench parsed exactly once while
+// cached. The RLock fast path keeps steady-state hits contention-light;
+// parsing runs under the entry's once, never under the cache lock.
 func testbenchAST(p *problems.Problem) (*vlog.SourceFile, error) {
-	v, ok := tbCache.Load(p.Testbench)
-	if !ok {
-		v, _ = tbCache.LoadOrStore(p.Testbench, &tbEntry{})
+	tbCache.mu.RLock()
+	e := tbCache.m[p.Testbench]
+	tbCache.mu.RUnlock()
+	if e == nil {
+		tbCache.mu.Lock()
+		if e = tbCache.m[p.Testbench]; e == nil {
+			e = &tbEntry{}
+			tbCache.m[p.Testbench] = e
+			tbCache.order = append(tbCache.order, p.Testbench)
+			if len(tbCache.order) > tbCacheCap {
+				delete(tbCache.m, tbCache.order[0])
+				tbCache.order = tbCache.order[1:]
+			}
+		}
+		tbCache.mu.Unlock()
 	}
-	e := v.(*tbEntry)
 	e.once.Do(func() { e.file, e.err = vlog.Parse(p.Testbench) })
 	return e.file, e.err
 }
@@ -70,30 +138,39 @@ func testbenchAST(p *problems.Problem) (*vlog.SourceFile, error) {
 // per-problem cache and is composed with the candidate's modules for
 // elaboration, so each sample pays for exactly one parse of the completion.
 func Evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
+	o, _ := evaluateSim(p, level, completion, sim.Options{})
+	return o
+}
+
+// evaluateSim is Evaluate with the simulator options exposed and the raw
+// simulation result returned: the interpreter-vs-compiled-plan
+// differential test runs the pipeline under both engines and compares
+// Result.Output byte for byte.
+func evaluateSim(p *problems.Problem, level problems.Level, completion string, simOpts sim.Options) (Outcome, sim.Result) {
 	completion = Truncate(completion)
 	src := p.CompleteWith(level, completion)
 	f, err := vlog.Parse(src)
 	if err != nil {
-		return Outcome{}
+		return Outcome{}, sim.Result{}
 	}
 	if elab.CompileCheck(f) != nil {
-		return Outcome{}
+		return Outcome{}, sim.Result{}
 	}
 	// The candidate compiles standalone; everything past this point can
 	// only downgrade the verdict from Passes, never from Compiles.
 	tb, err := testbenchAST(p)
 	if err != nil {
-		return Outcome{Compiles: true}
+		return Outcome{Compiles: true}, sim.Result{}
 	}
 	d, err := elab.Elaborate(vlog.Compose(f, tb), "tb", elab.Options{})
 	if err != nil {
-		return Outcome{Compiles: true}
+		return Outcome{Compiles: true}, sim.Result{}
 	}
-	res, err := sim.New(d, sim.Options{}).Run()
+	res, err := sim.New(d, simOpts).Run()
 	if err != nil {
-		return Outcome{Compiles: true}
+		return Outcome{Compiles: true}, res
 	}
-	return Outcome{Compiles: true, Passes: problems.PassVerdict(res.Output)}
+	return Outcome{Compiles: true, Passes: problems.PassVerdict(res.Output)}, res
 }
 
 // numShards sizes the outcome cache: enough shards that GOMAXPROCS workers

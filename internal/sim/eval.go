@@ -11,175 +11,62 @@ import (
 // is the maximum of its self-determined width and the assignment context;
 // the expression is signed only if every context operand is signed, and in
 // an unsigned expression signed operands are treated as unsigned.
-
-// selfWidth computes the self-determined width of an expression.
-func (s *Simulator) selfWidth(e vlog.Expr, in *elab.Inst) int {
-	switch n := e.(type) {
-	case *vlog.Number:
-		return n.Value.Width()
-	case *vlog.Str:
-		w := 8 * len(n.Text)
-		if w == 0 {
-			w = 8
-		}
-		return w
-	case *vlog.Ident:
-		if st := s.sig(in, n.Name); st != nil {
-			return st.decl.Width
-		}
-		if p, ok := in.Params[n.Name]; ok {
-			return p.Width()
-		}
-		return 1
-	case *vlog.Index:
-		if id, ok := n.X.(*vlog.Ident); ok {
-			if ms := s.mem(in, id.Name); ms != nil {
-				return ms.decl.Width
-			}
-		}
-		return 1
-	case *vlog.RangeSel:
-		msb, lsb, ok := s.constBounds(n, in)
-		if !ok {
-			return 1
-		}
-		w := msb - lsb
-		if w < 0 {
-			w = -w
-		}
-		return w + 1
-	case *vlog.Unary:
-		switch n.Op {
-		case "+", "-", "~":
-			return s.selfWidth(n.X, in)
-		default: // reductions and !
-			return 1
-		}
-	case *vlog.Binary:
-		switch n.Op {
-		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
-			a, b := s.selfWidth(n.X, in), s.selfWidth(n.Y, in)
-			if a > b {
-				return a
-			}
-			return b
-		case "<<", ">>", ">>>", "<<<", "**":
-			return s.selfWidth(n.X, in)
-		default: // relational, equality, logical
-			return 1
-		}
-	case *vlog.Ternary:
-		a, b := s.selfWidth(n.Then, in), s.selfWidth(n.Else, in)
-		if a > b {
-			return a
-		}
-		return b
-	case *vlog.Concat:
-		total := 0
-		for _, p := range n.Parts {
-			total += s.selfWidth(p, in)
-		}
-		if total == 0 {
-			total = 1
-		}
-		return total
-	case *vlog.Repl:
-		cnt := 1
-		if v, err := elab.ConstEval(n.Count, in); err == nil {
-			if u, ok := v.Uint64(); ok {
-				cnt = int(u)
-			}
-		}
-		return cnt * s.selfWidth(n.X, in)
-	case *vlog.SysCallExpr:
-		switch n.Name {
-		case "$time", "$stime":
-			return 64
-		case "$random", "$urandom", "$clog2":
-			return 32
-		case "$signed", "$unsigned":
-			if len(n.Args) == 1 {
-				return s.selfWidth(n.Args[0], in)
-			}
-		}
-		return 32
-	default:
-		return 1
-	}
-}
-
-// selfSigned computes the self-determined signedness of an expression.
-func (s *Simulator) selfSigned(e vlog.Expr, in *elab.Inst) bool {
-	switch n := e.(type) {
-	case *vlog.Number:
-		return n.Value.Signed()
-	case *vlog.Ident:
-		if st := s.sig(in, n.Name); st != nil {
-			return st.decl.Signed
-		}
-		if p, ok := in.Params[n.Name]; ok {
-			return p.Signed()
-		}
-		return false
-	case *vlog.Index, *vlog.RangeSel, *vlog.Concat, *vlog.Repl, *vlog.Str:
-		return false
-	case *vlog.Unary:
-		switch n.Op {
-		case "+", "-", "~":
-			return s.selfSigned(n.X, in)
-		default:
-			return false
-		}
-	case *vlog.Binary:
-		switch n.Op {
-		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~", "**":
-			return s.selfSigned(n.X, in) && s.selfSigned(n.Y, in)
-		case "<<", ">>", ">>>", "<<<":
-			return s.selfSigned(n.X, in)
-		default:
-			return false
-		}
-	case *vlog.Ternary:
-		return s.selfSigned(n.Then, in) && s.selfSigned(n.Else, in)
-	case *vlog.SysCallExpr:
-		switch n.Name {
-		case "$signed", "$random":
-			return true
-		}
-		return false
-	default:
-		return false
-	}
-}
-
-// constBounds resolves part-select bounds; they were verified constant at
-// elaboration.
-func (s *Simulator) constBounds(n *vlog.RangeSel, in *elab.Inst) (msb, lsb int, ok bool) {
-	mv, err1 := elab.ConstEval(n.MSB, in)
-	lv, err2 := elab.ConstEval(n.LSB, in)
-	if err1 != nil || err2 != nil {
-		return 0, 0, false
-	}
-	mi, ok1 := mv.Int64()
-	li, ok2 := lv.Int64()
-	if !ok1 || !ok2 {
-		return 0, 0, false
-	}
-	return int(mi), int(li), true
-}
+//
+// Two engines share these semantics. The default engine executes compiled
+// expression plans (plan.go): context derivation happens once per
+// (expression, instance) at plan-construction time. Options.Interpret
+// selects the AST-walking interpreter below, which re-derives context
+// (elab.SelfWidth / elab.SelfSigned) on every evaluation; it is the
+// bit-for-bit reference the differential tests compare the plans against.
 
 // eval evaluates an expression with assignment-context width ctx (0 for a
 // self-determined position).
 func (s *Simulator) eval(e vlog.Expr, in *elab.Inst, ctx int) vnum.Value {
-	w := s.selfWidth(e, in)
+	if s.opts.Interpret {
+		return s.evalInterp(e, in, ctx)
+	}
+	return s.planFor(e, in, ctx)()
+}
+
+// evalSized evaluates e at width w with expression-level signedness sg
+// (case labels force sg false).
+func (s *Simulator) evalSized(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.Value {
+	if s.opts.Interpret {
+		return s.evalSizedInterp(e, in, w, sg)
+	}
+	return s.planSized(e, in, w, sg)()
+}
+
+// constBounds resolves part-select bounds; they were verified constant at
+// elaboration. In compiled mode the resolution is memoized per
+// (select, instance) — it cannot change at runtime.
+func (s *Simulator) constBounds(n *vlog.RangeSel, in *elab.Inst) (msb, lsb int, ok bool) {
+	if s.opts.Interpret {
+		return elab.PartSelBounds(n, in)
+	}
+	k := exprScope{e: n, in: in}
+	if b, hit := s.boundsMemo[k]; hit {
+		return b.msb, b.lsb, b.ok
+	}
+	msb, lsb, ok = elab.PartSelBounds(n, in)
+	s.boundsMemo[k] = boundsRes{msb: msb, lsb: lsb, ok: ok}
+	return msb, lsb, ok
+}
+
+// ---- the AST-walking interpreter -----------------------------------------
+
+// evalInterp evaluates by AST interpretation, re-deriving the context.
+func (s *Simulator) evalInterp(e vlog.Expr, in *elab.Inst, ctx int) vnum.Value {
+	w := elab.SelfWidth(e, in)
 	if ctx > w {
 		w = ctx
 	}
-	return s.evalSized(e, in, w, s.selfSigned(e, in))
+	return s.evalSizedInterp(e, in, w, elab.SelfSigned(e, in))
 }
 
-// evalSized evaluates e at width w with expression-level signedness sg.
-func (s *Simulator) evalSized(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.Value {
+// evalSizedInterp evaluates e at width w with expression-level signedness
+// sg by walking the AST.
+func (s *Simulator) evalSizedInterp(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.Value {
 	sized := func(v vnum.Value) vnum.Value {
 		if sg {
 			v = v.AsSigned()
@@ -217,10 +104,10 @@ func (s *Simulator) evalSized(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.V
 	case *vlog.Unary:
 		switch n.Op {
 		case "+", "-", "~":
-			x := s.evalSized(n.X, in, w, sg)
+			x := s.evalSizedInterp(n.X, in, w, sg)
 			return sized(elab.ApplyUnary(n.Op, x))
 		default: // reductions, !
-			x := s.eval(n.X, in, 0)
+			x := s.evalInterp(n.X, in, 0)
 			if n.Op == "!" {
 				return sized(vnum.LogNot(x))
 			}
@@ -229,52 +116,50 @@ func (s *Simulator) evalSized(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.V
 	case *vlog.Binary:
 		switch n.Op {
 		case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
-			x := s.evalSized(n.X, in, w, sg)
-			y := s.evalSized(n.Y, in, w, sg)
+			x := s.evalSizedInterp(n.X, in, w, sg)
+			y := s.evalSizedInterp(n.Y, in, w, sg)
 			return sized(elab.ApplyBinary(n.Op, x, y))
-		case "<<", "<<<", ">>", ">>>", "**":
-			x := s.evalSized(n.X, in, w, sg)
-			y := s.eval(n.Y, in, 0).AsUnsigned()
+		case "<<", "<<<", ">>", ">>>":
+			x := s.evalSizedInterp(n.X, in, w, sg)
+			y := s.evalInterp(n.Y, in, 0).AsUnsigned()
+			return sized(elab.ApplyBinary(n.Op, x, y))
+		case "**":
+			x := s.evalSizedInterp(n.X, in, w, sg)
+			// the exponent keeps its own signedness: the LRM negative-
+			// exponent cases in vnum.Pow need it
+			y := s.evalInterp(n.Y, in, 0)
 			return sized(elab.ApplyBinary(n.Op, x, y))
 		case "&&", "||":
-			x := s.eval(n.X, in, 0)
-			y := s.eval(n.Y, in, 0)
+			x := s.evalInterp(n.X, in, 0)
+			y := s.evalInterp(n.Y, in, 0)
 			return sized(elab.ApplyBinary(n.Op, x, y))
 		default: // relational and equality: operands sized to their max
-			ow := s.selfWidth(n.X, in)
-			if yw := s.selfWidth(n.Y, in); yw > ow {
+			ow := elab.SelfWidth(n.X, in)
+			if yw := elab.SelfWidth(n.Y, in); yw > ow {
 				ow = yw
 			}
-			osg := s.selfSigned(n.X, in) && s.selfSigned(n.Y, in)
-			x := s.evalSized(n.X, in, ow, osg)
-			y := s.evalSized(n.Y, in, ow, osg)
+			osg := elab.SelfSigned(n.X, in) && elab.SelfSigned(n.Y, in)
+			x := s.evalSizedInterp(n.X, in, ow, osg)
+			y := s.evalSizedInterp(n.Y, in, ow, osg)
 			return sized(elab.ApplyBinary(n.Op, x, y))
 		}
 	case *vlog.Ternary:
-		c := s.eval(n.Cond, in, 0).Truth()
+		c := s.evalInterp(n.Cond, in, 0).Truth()
 		switch c {
 		case vnum.B1:
-			return s.evalSized(n.Then, in, w, sg)
+			return s.evalSizedInterp(n.Then, in, w, sg)
 		case vnum.B0:
-			return s.evalSized(n.Else, in, w, sg)
+			return s.evalSizedInterp(n.Else, in, w, sg)
 		default:
 			// LRM: merge both branches bitwise; equal bits survive
-			a := s.evalSized(n.Then, in, w, sg)
-			b := s.evalSized(n.Else, in, w, sg)
-			out := vnum.Zero(w)
-			for i := 0; i < w; i++ {
-				if a.Bit(i) == b.Bit(i) && a.Bit(i).IsKnown() {
-					out = out.WithBit(i, a.Bit(i))
-				} else {
-					out = out.WithBit(i, vnum.BX)
-				}
-			}
-			return sized(out)
+			a := s.evalSizedInterp(n.Then, in, w, sg)
+			b := s.evalSizedInterp(n.Else, in, w, sg)
+			return sized(vnum.TernaryMerge(a, b, w))
 		}
 	case *vlog.Concat:
 		parts := make([]vnum.Value, len(n.Parts))
 		for i, p := range n.Parts {
-			parts[i] = s.eval(p, in, 0)
+			parts[i] = s.evalInterp(p, in, 0)
 		}
 		return sized(vnum.Concat(parts...))
 	case *vlog.Repl:
@@ -284,7 +169,7 @@ func (s *Simulator) evalSized(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.V
 				cnt = int(u)
 			}
 		}
-		x := s.eval(n.X, in, 0)
+		x := s.evalInterp(n.X, in, 0)
 		return sized(vnum.Replicate(cnt, x))
 	case *vlog.SysCallExpr:
 		return sized(s.evalSysFunc(n, in))
@@ -296,7 +181,7 @@ func (s *Simulator) evalSized(e vlog.Expr, in *elab.Inst, w int, sg bool) vnum.V
 func (s *Simulator) evalIndex(n *vlog.Index, in *elab.Inst) vnum.Value {
 	if id, ok := n.X.(*vlog.Ident); ok {
 		if ms := s.mem(in, id.Name); ms != nil {
-			iv := s.eval(n.I, in, 0)
+			iv := s.evalInterp(n.I, in, 0)
 			addr, ok := iv.AsUnsigned().Uint64()
 			if !iv.IsKnown() || !ok {
 				return vnum.AllX(ms.decl.Width)
@@ -308,8 +193,8 @@ func (s *Simulator) evalIndex(n *vlog.Index, in *elab.Inst) vnum.Value {
 			return ms.words[idx]
 		}
 	}
-	base := s.eval(n.X, in, 0)
-	iv := s.eval(n.I, in, 0)
+	base := s.evalInterp(n.X, in, 0)
+	iv := s.evalInterp(n.I, in, 0)
 	bi, ok := iv.AsUnsigned().Uint64()
 	if !iv.IsKnown() || !ok {
 		return vnum.AllX(1)
@@ -336,7 +221,7 @@ func (s *Simulator) evalRangeSel(n *vlog.RangeSel, in *elab.Inst) vnum.Value {
 	if !ok {
 		return vnum.AllX(1)
 	}
-	base := s.eval(n.X, in, 0)
+	base := s.evalInterp(n.X, in, 0)
 	if id, ok2 := n.X.(*vlog.Ident); ok2 {
 		if st := s.sig(in, id.Name); st != nil {
 			hiOff, ok1 := st.decl.Offset(msb)
@@ -364,15 +249,15 @@ func (s *Simulator) evalSysFunc(n *vlog.SysCallExpr, in *elab.Inst) vnum.Value {
 		return vnum.FromUint64(32, s.random()&0xFFFFFFFF)
 	case "$signed":
 		if len(n.Args) == 1 {
-			return s.eval(n.Args[0], in, 0).AsSigned()
+			return s.evalInterp(n.Args[0], in, 0).AsSigned()
 		}
 	case "$unsigned":
 		if len(n.Args) == 1 {
-			return s.eval(n.Args[0], in, 0).AsUnsigned()
+			return s.evalInterp(n.Args[0], in, 0).AsUnsigned()
 		}
 	case "$clog2":
 		if len(n.Args) == 1 {
-			v, ok := s.eval(n.Args[0], in, 0).Uint64()
+			v, ok := s.evalInterp(n.Args[0], in, 0).Uint64()
 			if ok {
 				r := 0
 				for (uint64(1) << uint(r)) < v {

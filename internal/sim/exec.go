@@ -144,12 +144,24 @@ func (p *process) exec(st vlog.Stmt) {
 			p.exec(sub)
 		}
 	case *vlog.Assign:
-		w := s.lvalueWidth(n.LHS, in)
-		v := s.eval(n.RHS, in, w)
+		if s.opts.Interpret {
+			w := s.lvalueWidth(n.LHS, in)
+			v := s.eval(n.RHS, in, w)
+			if n.NonBlocking {
+				s.scheduleNBA(n.LHS, in, v)
+			} else {
+				s.writeLValue(n.LHS, in, v, true)
+			}
+			break
+		}
+		ap := s.assignPlanFor(n, in)
+		v := ap.rhs()
 		if n.NonBlocking {
-			s.scheduleNBA(n.LHS, in, v)
+			// like scheduleNBA, index expressions of the target evaluate at
+			// NBA-apply time (inside ap.write)
+			s.nba = append(s.nba, nbaUpdate{apply: func() { ap.write(v) }})
 		} else {
-			s.writeLValue(n.LHS, in, v, true)
+			ap.write(v)
 		}
 	case *vlog.If:
 		if s.eval(n.Cond, in, 0).IsTrue() {
@@ -213,7 +225,7 @@ func (p *process) execCase(n *vlog.Case) {
 		}
 		for _, e := range item.Exprs {
 			w := sel.Width()
-			if lw := s.selfWidth(e, in); lw > w {
+			if lw := s.labelWidth(e, in); lw > w {
 				w = lw
 			}
 			label := s.evalSized(e, in, w, false)
@@ -270,22 +282,44 @@ func (p *process) waitEvent(n *vlog.EventCtrl) {
 	s := p.sim
 	in := p.proc.Scope
 	p.noteBlock()
+
+	if !s.opts.Interpret {
+		// compiled mode: the item templates, bound plans, and dependency
+		// signals are static per site; each block copies the template into
+		// a fresh registration, so wake order matches the interpreter's
+		ws := s.waitSiteFor(n, in)
+		if len(ws.deps) == 0 {
+			panic(simAbort{err: &RuntimeError{Pos: n.Pos, Msg: "event control watches no signals"}})
+		}
+		wr := &waitReg{proc: p, scope: in, active: true,
+			items: append([]waitItem(nil), ws.items...)}
+		for i := range wr.items {
+			wr.items[i].last = wr.items[i].plan()
+		}
+		for _, st := range ws.deps {
+			st.waits = append(st.waits, wr)
+		}
+		p.block()
+		return
+	}
+
 	wr := &waitReg{proc: p, scope: in, active: true}
 
 	var depNames []string
 	if n.Star {
-		names, ok := s.starCache[n]
+		idents, ok := s.starCache[n]
 		if !ok {
-			names = dedup(collectStmtReads(n.Stmt, nil))
-			s.starCache[n] = names
+			names := dedup(collectStmtReads(n.Stmt, nil))
+			idents = make([]*vlog.Ident, len(names))
+			for i, name := range names {
+				idents[i] = &vlog.Ident{Name: name}
+			}
+			s.starCache[n] = idents
 		}
-		for _, name := range names {
-			wr.items = append(wr.items, waitItem{
-				edge: vlog.EdgeAny,
-				expr: &vlog.Ident{Name: name},
-			})
+		for _, id := range idents {
+			wr.items = append(wr.items, waitItem{edge: vlog.EdgeAny, expr: id})
+			depNames = append(depNames, id.Name)
 		}
-		depNames = names
 	} else {
 		for _, ev := range n.Events {
 			wr.items = append(wr.items, waitItem{edge: ev.Edge, expr: ev.X})
@@ -313,6 +347,24 @@ func (p *process) waitEvent(n *vlog.EventCtrl) {
 func (p *process) waitLevel(cond vlog.Expr) {
 	s := p.sim
 	in := p.proc.Scope
+
+	if !s.opts.Interpret {
+		ls := s.levelSiteFor(cond, in)
+		if ls.cond().IsTrue() {
+			return
+		}
+		p.noteBlock()
+		if len(ls.deps) == 0 {
+			panic(simAbort{err: &RuntimeError{Pos: cond.NodePos(), Msg: "wait condition watches no signals"}})
+		}
+		wr := &waitReg{proc: p, scope: in, active: true, level: cond, levelPlan: ls.cond}
+		for _, st := range ls.deps {
+			st.waits = append(st.waits, wr)
+		}
+		p.block()
+		return
+	}
+
 	if s.eval(cond, in, 0).IsTrue() {
 		return
 	}
@@ -476,8 +528,23 @@ func mustU64(v vnum.Value) uint64 {
 
 // ---- lvalue writes --------------------------------------------------------
 
-// lvalueWidth returns the width of an assignment target (for RHS context).
+// lvalueWidth returns the width of an assignment target (for RHS context),
+// memoized in compiled mode — declaration widths and part-select bounds
+// are static per instance.
 func (s *Simulator) lvalueWidth(lhs vlog.Expr, in *elab.Inst) int {
+	if s.opts.Interpret {
+		return s.lvalueWidthUncached(lhs, in)
+	}
+	k := exprScope{e: lhs, in: in}
+	if w, ok := s.lvwMemo[k]; ok {
+		return w
+	}
+	w := s.lvalueWidthUncached(lhs, in)
+	s.lvwMemo[k] = w
+	return w
+}
+
+func (s *Simulator) lvalueWidthUncached(lhs vlog.Expr, in *elab.Inst) int {
 	switch n := lhs.(type) {
 	case *vlog.Ident:
 		if st := s.sig(in, n.Name); st != nil {

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+// runBothEngines elaborates src and simulates it twice — compiled plans
+// and the AST interpreter — returning both outputs. The elaborated design
+// is shared: simulators only read it.
+func runBothEngines(t *testing.T, src string) (compiled, interpreted Result) {
+	t.Helper()
+	f, err := vlog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	d, err := elab.Elaborate(f, "tb", elab.Options{})
+	if err != nil {
+		t.Fatalf("elaborate: %v\n%s", err, src)
+	}
+	rc, err := New(d, Options{}).Run()
+	if err != nil {
+		t.Fatalf("compiled run: %v\n%s", err, src)
+	}
+	ri, err := New(d, Options{Interpret: true}).Run()
+	if err != nil {
+		t.Fatalf("interpreted run: %v\n%s", err, src)
+	}
+	return rc, ri
+}
+
+// TestCompiledMatchesInterpreterOperators drives one expression per
+// operator family — signed and unsigned, with x/z propagation, dynamic
+// selects, memories, replication, system functions — through both engines
+// and requires byte-identical output.
+func TestCompiledMatchesInterpreterOperators(t *testing.T) {
+	exprs := []string{
+		// context-determined arithmetic, unsigned and signed
+		"a + b", "a - b", "a * b", "b / a", "b % a", "sa + sb", "sa * sb",
+		"sa / sb", "sa % sb", "-sa", "+sa", "~a",
+		// bitwise
+		"a & b", "a | b", "a ^ b", "a ~^ b",
+		// reductions and logical
+		"&a", "|a", "^a", "~&a", "~|a", "~^a", "!a", "a && b", "a || b",
+		// comparisons, mixed signedness (operands at their own type)
+		"a < b", "a <= b", "a > b", "a >= b", "sa < sb", "sa > b",
+		"a == b", "a != b", "a === b", "a !== b", "xz == a", "xz === xz",
+		// shifts and power
+		"a << 3", "a >> 2", "sa >>> 2", "a >>> 2", "a << b[2:0]",
+		"a ** 2", "sa ** sb[1:0]", "2 ** sneg", "sone ** sneg",
+		// selects (static and dynamic) and concatenation
+		"a[3]", "a[b[2:0]]", "a[6:2]", "sa[4:1]", "{a, b}", "{a[3:0], b[7:4]}",
+		"{3{a[1:0]}}", "{a, 4'b10xz}",
+		// ternaries, including unknown conditions merging branches
+		"a[0] ? a : b", "xz[0] ? a : b", "xz[0] ? a : a",
+		// four-state propagation through arithmetic
+		"xz + a", "xz & a", "xz | a", "a * xz",
+		// memories and system functions
+		"m[a[1:0]]", "m[9]", "$signed(a)", "$unsigned(sa)", "$clog2(a)",
+		"$clog2(xz)", "$time", "$signed(a[3:0])",
+		// wide (>64 bit) paths
+		"wa + wb", "wa & wb", "{wa[80:60], b}", "wa[100:90]",
+	}
+	var checks strings.Builder
+	for i, e := range exprs {
+		fmt.Fprintf(&checks, "    $display(\"%d: %%b %%d %%h\", (%s), (%s), (%s));\n", i, e, e, e)
+	}
+	src := fmt.Sprintf(`module tb;
+  reg [7:0] a, b;
+  reg signed [7:0] sa, sb;
+  reg signed [7:0] sneg, sone;
+  reg [7:0] xz;
+  reg [127:0] wa, wb;
+  reg [7:0] m [0:3];
+  initial begin
+    a = 8'd172; b = 8'd37;
+    sa = -8'sd53; sb = 8'sd29;
+    sneg = -8'sd1; sone = -8'sd1;
+    xz = 8'b10xz_01xz;
+    wa = {16{8'hA5}}; wb = {16{8'h3C}};
+    m[0] = 8'd11; m[1] = 8'd22; m[2] = 8'd33; m[3] = 8'd44;
+    #1;
+%s    $finish;
+  end
+endmodule`, checks.String())
+
+	rc, ri := runBothEngines(t, src)
+	if rc.Output != ri.Output {
+		t.Errorf("engines diverged:\ncompiled:\n%s\ninterpreted:\n%s", rc.Output, ri.Output)
+	}
+	if rc.Steps != ri.Steps || rc.Time != ri.Time {
+		t.Errorf("metadata diverged: compiled %+v, interpreted %+v", rc, ri)
+	}
+}
+
+// TestCompiledMatchesInterpreterRandomExprs cross-checks both engines over
+// random combinational expressions (the generator from the golden
+// differential test) under random stimulus.
+func TestCompiledMatchesInterpreterRandomExprs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 60; trial++ {
+		exprStr, _ := genDiffExpr(rng, 3)
+		av, bv, cv := rng.Uint64()&0xFF, rng.Uint64()&0xFF, rng.Uint64()&0xFF
+		src := fmt.Sprintf(`module dut(input [7:0] a, input [7:0] b, input [7:0] c, output [15:0] y);
+  assign y = %s;
+endmodule
+module tb;
+  reg [7:0] a, b, c;
+  wire [15:0] y;
+  dut d(.a(a), .b(b), .c(c), .y(y));
+  initial begin
+    a = 8'd%d; b = 8'd%d; c = 8'd%d;
+    #1 $display("y=%%d %%b", y, y);
+  end
+endmodule`, exprStr, av, bv, cv)
+		rc, ri := runBothEngines(t, src)
+		if rc.Output != ri.Output {
+			t.Fatalf("trial %d (%s): compiled %q, interpreted %q", trial, exprStr, rc.Output, ri.Output)
+		}
+	}
+}
+
+// TestCompiledMatchesInterpreterRandomStream pins the $random draw order:
+// sub-expression evaluation order is observable through the RNG, so both
+// engines must consume the stream identically.
+func TestCompiledMatchesInterpreterRandomStream(t *testing.T) {
+	src := `module tb;
+  reg [31:0] r1, r2;
+  reg [7:0] i;
+  initial begin
+    for (i = 0; i < 8; i = i + 1) begin
+      r1 = $random + ($random & 32'hFF);
+      r2 = {$random} ^ {24'd0, i};
+      #1 $display("%d %h %h", $time, r1, r2);
+    end
+    $finish;
+  end
+endmodule`
+	rc, ri := runBothEngines(t, src)
+	if rc.Output != ri.Output {
+		t.Errorf("RNG stream diverged:\ncompiled:\n%s\ninterpreted:\n%s", rc.Output, ri.Output)
+	}
+}
+
+// TestPlanCacheBounded runs a long clocked simulation and checks that the
+// per-simulator plan caches stay proportional to the static expression
+// count, not to the event count — including the @* sensitivity idents that
+// used to be synthesized fresh on every block.
+func TestPlanCacheBounded(t *testing.T) {
+	src := `module tb;
+  reg clk, reset;
+  reg [15:0] q;
+  reg [15:0] shadow;
+  always #5 clk = ~clk;
+  always @(posedge clk or posedge reset) begin
+    if (reset) q <= 0;
+    else q <= q + 1;
+  end
+  always @* shadow = q ^ 16'hFFFF;
+  initial begin
+    clk = 0; reset = 1;
+    #12 reset = 0;
+    #4000 $display("q=%d shadow=%h", q, shadow);
+    $finish;
+  end
+endmodule`
+	f, err := vlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := elab.Elaborate(f, "tb", elab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(d, Options{})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps < 1000 {
+		t.Fatalf("expected a long run, got %d steps", res.Steps)
+	}
+	total := len(s.plans) + len(s.assigns) + len(s.waitSites) + len(s.levelSites)
+	if total > 64 {
+		t.Errorf("plan caches grew with events: %d entries after %d steps", total, res.Steps)
+	}
+	if len(s.plans) == 0 || len(s.assigns) == 0 || len(s.waitSites) == 0 {
+		t.Errorf("compiled mode unused: plans=%d assigns=%d waitSites=%d",
+			len(s.plans), len(s.assigns), len(s.waitSites))
+	}
+}
+
+// TestInterpretModeUsesNoPlans pins the ablation baseline: under
+// Options.Interpret nothing must be compiled.
+func TestInterpretModeUsesNoPlans(t *testing.T) {
+	src := `module tb;
+  reg [7:0] a;
+  initial begin a = 8'd5; #1 $display("%d", a + 8'd1); $finish; end
+endmodule`
+	f, err := vlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := elab.Elaborate(f, "tb", elab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(d, Options{Interpret: true})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.plans)+len(s.assigns)+len(s.waitSites)+len(s.levelSites) != 0 {
+		t.Error("interpreter mode compiled plans")
+	}
+}

@@ -51,6 +51,11 @@ type Options struct {
 	MaxOutput  int    // bytes of captured $display output; 0 = 1 << 20
 	RandomSeed int64  // seed for $random; 0 = 1
 	DumpVCD    bool   // record a waveform from time 0 ($dumpvars also enables this at runtime)
+
+	// Interpret evaluates expressions by AST interpretation instead of
+	// compiled plans. The two engines are bit-for-bit equivalent; the
+	// interpreter exists as the differential baseline and for debugging.
+	Interpret bool
 }
 
 func (o Options) maxTime() uint64 {
@@ -99,25 +104,31 @@ type memState struct {
 	words []vnum.Value
 }
 
-// caState is a continuous assignment plus its cached dependency list.
+// caState is a continuous assignment plus its cached dependency list and,
+// in compiled mode, its bound RHS plan and target writer.
 type caState struct {
 	ca     *elab.CA
 	queued bool
+	rhs    compiledExpr
+	write  compiledWrite
 }
 
 // waitReg links a blocked process to the signals it watches.
 type waitReg struct {
-	proc   *process
-	items  []waitItem
-	level  vlog.Expr // non-nil for wait(cond)
-	scope  *elab.Inst
-	active bool
+	proc      *process
+	items     []waitItem
+	level     vlog.Expr    // non-nil for wait(cond)
+	levelPlan compiledExpr // compiled level condition, nil under Interpret
+	scope     *elab.Inst
+	active    bool
 }
 
-// waitItem is one event-control term with its last sampled value.
+// waitItem is one event-control term with its last sampled value. plan is
+// the bound expression plan (nil under Interpret).
 type waitItem struct {
 	edge vlog.EdgeKind
 	expr vlog.Expr
+	plan compiledExpr
 	last vnum.Value
 }
 
@@ -131,11 +142,12 @@ type Simulator struct {
 	cas     []*caState
 	procs   []*process
 
-	time     uint64
-	active   []activation
-	inactive []activation
-	nba      []nbaUpdate
-	future   futureQueue
+	time       uint64
+	active     []activation
+	activeHead int // consumed prefix of active; avoids reslicing away capacity
+	inactive   []activation
+	nba        []nbaUpdate
+	future     futureQueue
 
 	out       strings.Builder
 	steps     int
@@ -149,7 +161,22 @@ type Simulator struct {
 
 	monitor *monitorState
 
-	starCache map[*vlog.EventCtrl][]string
+	// starCache holds the @* sensitivity list per event control, as stable
+	// synthesized Ident nodes so their compiled plans cache across
+	// re-registrations of the same block.
+	starCache map[*vlog.EventCtrl][]*vlog.Ident
+
+	// compiled-plan state: bound plans plus memos for the static facts the
+	// inner loop would otherwise re-derive (case-label widths, part-select
+	// bounds, lvalue widths, assignment and wait-site bindings). Unused
+	// under Options.Interpret.
+	plans      map[planKey]compiledExpr
+	widthMemo  map[exprScope]int
+	boundsMemo map[exprScope]boundsRes
+	lvwMemo    map[exprScope]int
+	assigns    map[stmtKey]*assignPlan
+	waitSites  map[stmtKey]*waitSite
+	levelSites map[exprScope]*levelSite
 }
 
 // activation is one schedulable work item in the active region.
@@ -221,12 +248,19 @@ func (q *futureQueue) Pop() any {
 // New prepares a simulator for the design.
 func New(d *elab.Design, opts Options) *Simulator {
 	s := &Simulator{
-		design:    d,
-		opts:      opts,
-		signals:   map[*elab.Inst]map[string]*sigState{},
-		mems:      map[*elab.Inst]map[string]*memState{},
-		rng:       uint64(opts.RandomSeed),
-		starCache: map[*vlog.EventCtrl][]string{},
+		design:     d,
+		opts:       opts,
+		signals:    map[*elab.Inst]map[string]*sigState{},
+		mems:       map[*elab.Inst]map[string]*memState{},
+		rng:        uint64(opts.RandomSeed),
+		starCache:  map[*vlog.EventCtrl][]*vlog.Ident{},
+		plans:      map[planKey]compiledExpr{},
+		widthMemo:  map[exprScope]int{},
+		boundsMemo: map[exprScope]boundsRes{},
+		lvwMemo:    map[exprScope]int{},
+		assigns:    map[stmtKey]*assignPlan{},
+		waitSites:  map[stmtKey]*waitSite{},
+		levelSites: map[exprScope]*levelSite{},
 	}
 	if s.rng == 0 {
 		s.rng = 1
@@ -369,10 +403,15 @@ func (s *Simulator) Run() (res Result, err error) {
 	}
 
 	for !s.finished {
+		if s.activeHead > 0 && s.activeHead == len(s.active) {
+			// drained: recycle the backing array instead of reslicing it away
+			s.active = s.active[:0]
+			s.activeHead = 0
+		}
 		switch {
-		case len(s.active) > 0:
-			a := s.active[0]
-			s.active = s.active[1:]
+		case s.activeHead < len(s.active):
+			a := s.active[s.activeHead]
+			s.activeHead++
 			s.dispatch(a)
 		case len(s.inactive) > 0:
 			s.active = append(s.active, s.inactive...)
@@ -512,21 +551,39 @@ func (s *Simulator) scheduleFuture(delay uint64, act activation) {
 	heap.Push(&s.future, &futureEntry{time: s.time + delay, seq: s.futureSeq, act: act})
 }
 
-// evalCA re-evaluates one continuous assignment and drives its target.
+// evalCA re-evaluates one continuous assignment and drives its target. In
+// compiled mode the RHS plan and target writer bind on first evaluation
+// and stick to the caState.
 func (s *Simulator) evalCA(ca *caState) {
 	s.charge()
-	w := s.lvalueWidth(ca.ca.LHS, ca.ca.LScope)
-	v := s.eval(ca.ca.RHS, ca.ca.RScope, w)
-	s.writeLValue(ca.ca.LHS, ca.ca.LScope, v, false)
+	if s.opts.Interpret {
+		w := s.lvalueWidth(ca.ca.LHS, ca.ca.LScope)
+		v := s.eval(ca.ca.RHS, ca.ca.RScope, w)
+		s.writeLValue(ca.ca.LHS, ca.ca.LScope, v, false)
+		return
+	}
+	if ca.rhs == nil {
+		w := s.lvalueWidth(ca.ca.LHS, ca.ca.LScope)
+		ca.rhs = s.planFor(ca.ca.RHS, ca.ca.RScope, w)
+		ca.write = s.bindLValue(ca.ca.LHS, ca.ca.LScope)
+	}
+	ca.write(ca.rhs())
 }
 
 // setSignal updates a signal value and propagates change events.
 func (s *Simulator) setSignal(st *sigState, v vnum.Value) {
-	v = v.Resize(st.decl.Width)
-	if st.decl.Signed {
-		v = v.AsSigned()
-	} else {
-		v = v.AsUnsigned()
+	// normalize to the declaration's width and signedness; values already
+	// in shape (the common case with compiled plans) skip the clones —
+	// Values are immutable, so sharing is safe
+	if v.Width() != st.decl.Width {
+		v = v.Resize(st.decl.Width)
+	}
+	if v.Signed() != st.decl.Signed {
+		if st.decl.Signed {
+			v = v.AsSigned()
+		} else {
+			v = v.AsUnsigned()
+		}
 	}
 	if v.Equal(st.val) {
 		return
@@ -564,14 +621,25 @@ func (s *Simulator) setSignal(st *sigState, v vnum.Value) {
 // process when it triggers.
 func (s *Simulator) checkWait(wr *waitReg) {
 	if wr.level != nil {
-		if s.eval(wr.level, wr.scope, 0).IsTrue() {
+		var t bool
+		if wr.levelPlan != nil {
+			t = wr.levelPlan().IsTrue()
+		} else {
+			t = s.eval(wr.level, wr.scope, 0).IsTrue()
+		}
+		if t {
 			s.wake(wr)
 		}
 		return
 	}
 	for i := range wr.items {
 		it := &wr.items[i]
-		now := s.eval(it.expr, wr.scope, 0)
+		var now vnum.Value
+		if it.plan != nil {
+			now = it.plan()
+		} else {
+			now = s.eval(it.expr, wr.scope, 0)
+		}
 		old := it.last
 		it.last = now
 		if triggered(it.edge, old, now) {

@@ -16,8 +16,15 @@ func ctxWidth(x, y Value) int {
 }
 
 // extend2 resizes both operands to the common context width with the
-// effective signedness applied before extension.
+// effective signedness applied before extension. When the operands already
+// share a width and signedness — the steady state for compiled expression
+// plans, whose operands are pre-extended at plan-construction time — it
+// returns them untouched: Values are immutable, so skipping the two Resize
+// clones is safe.
 func extend2(x, y Value) (Value, Value, int, bool) {
+	if x.width == y.width && x.signed == y.signed {
+		return x, y, x.width, x.signed
+	}
 	s := effSigned(x, y)
 	w := ctxWidth(x, y)
 	xr, yr := x, y
@@ -27,9 +34,29 @@ func extend2(x, y Value) (Value, Value, int, bool) {
 	return xr, yr, w, s
 }
 
+// presized reports whether x and y satisfy the presized-operand contract:
+// same width and same signedness, so no extension is needed.
+func presized(x, y Value) bool {
+	return x.width == y.width && x.signed == y.signed
+}
+
 // Add returns x + y at the common context width.
 func Add(x, y Value) Value {
 	xr, yr, w, s := extend2(x, y)
+	return addCore(xr, yr, w, s)
+}
+
+// AddPresized returns x + y for operands already extended to the same width
+// and signedness (the compiled-plan contract); it skips the extend2 width
+// and signedness reconciliation. Mismatched operands fall back to Add.
+func AddPresized(x, y Value) Value {
+	if !presized(x, y) {
+		return Add(x, y)
+	}
+	return addCore(x, y, x.width, x.signed)
+}
+
+func addCore(xr, yr Value, w int, s bool) Value {
 	if !xr.IsKnown() || !yr.IsKnown() {
 		r := AllX(w)
 		r.signed = s
@@ -54,6 +81,18 @@ func Add(x, y Value) Value {
 // Sub returns x - y at the common context width.
 func Sub(x, y Value) Value {
 	xr, yr, w, s := extend2(x, y)
+	return subCore(xr, yr, w, s)
+}
+
+// SubPresized returns x - y under the presized-operand contract.
+func SubPresized(x, y Value) Value {
+	if !presized(x, y) {
+		return Sub(x, y)
+	}
+	return subCore(x, y, x.width, x.signed)
+}
+
+func subCore(xr, yr Value, w int, s bool) Value {
 	if !xr.IsKnown() || !yr.IsKnown() {
 		r := AllX(w)
 		r.signed = s
@@ -85,6 +124,18 @@ func Neg(x Value) Value {
 // Mul returns x * y at the common context width.
 func Mul(x, y Value) Value {
 	xr, yr, w, s := extend2(x, y)
+	return mulCore(xr, yr, w, s)
+}
+
+// MulPresized returns x * y under the presized-operand contract.
+func MulPresized(x, y Value) Value {
+	if !presized(x, y) {
+		return Mul(x, y)
+	}
+	return mulCore(x, y, x.width, x.signed)
+}
+
+func mulCore(xr, yr Value, w int, s bool) Value {
 	if !xr.IsKnown() || !yr.IsKnown() {
 		r := AllX(w)
 		r.signed = s
@@ -190,12 +241,46 @@ func divmod(x, y Value, wantQuot bool) Value {
 	return FromUint64(w, res)
 }
 
-// Pow returns x ** y for known non-negative exponents; otherwise all-x.
+// Pow returns x ** y at x's width, following the LRM power-operator value
+// table. Unknown operands (or an exponent too wide for 64 bits) yield all-x
+// carrying x's signedness. A negative exponent — a signed y whose value is
+// below zero; the raw bits are NOT a huge positive count — resolves by the
+// base's value: 0 ** negative is all-x (division by zero), 1 ** negative is
+// 1, (-1) ** negative is ±1 by exponent parity, and any other base
+// truncates to 0.
 func Pow(x, y Value) Value {
 	w := x.width
+	bad := AllX(w)
+	bad.signed = x.signed
+	if !x.IsKnown() || !y.IsKnown() {
+		return bad
+	}
+	if y.signed {
+		if yi, ok := y.Int64(); ok && yi < 0 {
+			switch {
+			case x.IsZero():
+				return bad
+			case isPlusOne(x):
+				out := FromUint64(w, 1)
+				out.signed = x.signed
+				return out
+			case x.signed && isAllOnes(x): // base -1
+				if yi&1 != 0 {
+					return FromInt64(w, -1)
+				}
+				out := FromUint64(w, 1)
+				out.signed = true
+				return out
+			default: // |base| > 1: magnitude shrinks below 1, truncates to 0
+				out := Zero(w)
+				out.signed = x.signed
+				return out
+			}
+		}
+	}
 	exp, ok := y.Uint64()
-	if !x.IsKnown() || !ok {
-		return AllX(w)
+	if !ok {
+		return bad
 	}
 	result := FromUint64(w, 1)
 	result.signed = x.signed
@@ -208,6 +293,33 @@ func Pow(x, y Value) Value {
 		exp >>= 1
 	}
 	return result.Resize(w)
+}
+
+// isPlusOne reports whether v is the known value +1. A one-bit signed 1 is
+// -1, not +1, and is excluded.
+func isPlusOne(v Value) bool {
+	u, ok := v.Uint64()
+	return ok && u == 1 && !(v.signed && v.width == 1)
+}
+
+// isAllOnes reports whether every bit of v is a known 1 (two's-complement
+// -1 at any width).
+func isAllOnes(v Value) bool {
+	if !v.IsKnown() {
+		return false
+	}
+	for i := 0; i < v.nwords(); i++ {
+		want := ^uint64(0)
+		if i == v.nwords()-1 {
+			if rem := uint(v.width % 64); rem != 0 {
+				want = (uint64(1) << rem) - 1
+			}
+		}
+		if v.aw(i) != want {
+			return false
+		}
+	}
+	return true
 }
 
 // bitwise tables -------------------------------------------------------
@@ -255,6 +367,10 @@ func notBit(p Bit) Bit {
 
 func bitwise2(x, y Value, f func(Bit, Bit) Bit) Value {
 	xr, yr, w, s := extend2(x, y)
+	return bitwiseCore(xr, yr, w, s, f)
+}
+
+func bitwiseCore(xr, yr Value, w int, s bool, f func(Bit, Bit) Bit) Value {
 	out := Zero(w)
 	out.signed = s
 	for i := 0; i < w; i++ {
@@ -263,19 +379,39 @@ func bitwise2(x, y Value, f func(Bit, Bit) Bit) Value {
 	return out
 }
 
+// bitwisePresized applies f under the presized-operand contract.
+func bitwisePresized(x, y Value, f func(Bit, Bit) Bit) Value {
+	if !presized(x, y) {
+		return bitwise2(x, y, f)
+	}
+	return bitwiseCore(x, y, x.width, x.signed, f)
+}
+
 // And returns the bitwise AND of x and y.
 func And(x, y Value) Value { return bitwise2(x, y, andBit) }
+
+// AndPresized returns x & y under the presized-operand contract.
+func AndPresized(x, y Value) Value { return bitwisePresized(x, y, andBit) }
 
 // Or returns the bitwise OR of x and y.
 func Or(x, y Value) Value { return bitwise2(x, y, orBit) }
 
+// OrPresized returns x | y under the presized-operand contract.
+func OrPresized(x, y Value) Value { return bitwisePresized(x, y, orBit) }
+
 // Xor returns the bitwise XOR of x and y.
 func Xor(x, y Value) Value { return bitwise2(x, y, xorBit) }
 
+// XorPresized returns x ^ y under the presized-operand contract.
+func XorPresized(x, y Value) Value { return bitwisePresized(x, y, xorBit) }
+
+func xnorBit(p, q Bit) Bit { return notBit(xorBit(p, q)) }
+
 // Xnor returns the bitwise XNOR of x and y.
-func Xnor(x, y Value) Value {
-	return bitwise2(x, y, func(p, q Bit) Bit { return notBit(xorBit(p, q)) })
-}
+func Xnor(x, y Value) Value { return bitwise2(x, y, xnorBit) }
+
+// XnorPresized returns x ~^ y under the presized-operand contract.
+func XnorPresized(x, y Value) Value { return bitwisePresized(x, y, xnorBit) }
 
 // Not returns the bitwise complement of x.
 func Not(x Value) Value {
@@ -496,6 +632,22 @@ func Sshr(x, y Value) Value {
 	}
 	for i := x.width - sh; i < x.width; i++ {
 		out.setBit(i, sign)
+	}
+	return out
+}
+
+// TernaryMerge implements the LRM unknown-condition ?: merge at width w:
+// bit positions where a and b agree on a known value keep that value, every
+// other position becomes x. The result is unsigned; callers apply context
+// signedness.
+func TernaryMerge(a, b Value, w int) Value {
+	out := Zero(w)
+	for i := 0; i < w; i++ {
+		if a.Bit(i) == b.Bit(i) && a.Bit(i).IsKnown() {
+			out.setBit(i, a.Bit(i))
+		} else {
+			out.setBit(i, BX)
+		}
 	}
 	return out
 }

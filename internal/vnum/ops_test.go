@@ -268,6 +268,110 @@ func TestPow(t *testing.T) {
 	}
 }
 
+// TestPowNegativeExponent pins the bugfix: a signed negative exponent used
+// to be read as raw bits (all-ones = a huge positive count) and
+// square-multiplied into garbage. The LRM value table applies instead.
+func TestPowNegativeExponent(t *testing.T) {
+	negOne := FromInt64(32, -1)
+	negTwo := FromInt64(32, -2)
+	negThree := FromInt64(32, -3)
+
+	// |base| > 1: truncates to zero (2 ** -1 == 0, not 2^(2^64-1) bits of junk)
+	if got := u64(t, Pow(FromInt64(16, 2), negOne)); got != 0 {
+		t.Errorf("2 ** -1 = %d, want 0", got)
+	}
+	if got := u64(t, Pow(FromInt64(16, -4), negThree)); got != 0 {
+		t.Errorf("(-4) ** -3 = %d, want 0", got)
+	}
+	// base 1: always 1
+	if got := u64(t, Pow(FromInt64(16, 1), negThree)); got != 1 {
+		t.Errorf("1 ** -3 = %d, want 1", got)
+	}
+	// base -1: parity of the exponent
+	if got, _ := Pow(FromInt64(16, -1), negThree).Int64(); got != -1 {
+		t.Errorf("(-1) ** -3 = %d, want -1", got)
+	}
+	if got, _ := Pow(FromInt64(16, -1), negTwo).Int64(); got != 1 {
+		t.Errorf("(-1) ** -2 = %d, want 1", got)
+	}
+	// base 0: division by zero, all-x
+	if r := Pow(FromInt64(16, 0), negOne); r.IsKnown() {
+		t.Errorf("0 ** -1 = %v, want all-x", r)
+	}
+	// an unsigned all-ones exponent is still a plain huge count, not -1:
+	// even powers of 3 truncated to 8 bits cycle, not the -1 path
+	if got := u64(t, Pow(FromUint64(8, 1), FromUint64(8, 0xFF))); got != 1 {
+		t.Errorf("1 ** 255 (unsigned) = %d, want 1", got)
+	}
+	// a 1-bit signed 1 is -1, not +1
+	one1 := FromUint64(1, 1).AsSigned()
+	if got := one1.BinString(); got != "1" {
+		t.Fatalf("setup: %s", got)
+	}
+	if r := Pow(one1, negTwo); r.BinString() != "1" {
+		t.Errorf("(1'sb1) ** -2 = %s, want 1 (the -1 even-parity case)", r.BinString())
+	}
+}
+
+// TestPowUnknownKeepsSignedness pins the second half of the fix: the all-x
+// early return used to drop the base's signedness.
+func TestPowUnknownKeepsSignedness(t *testing.T) {
+	x := AllX(8).AsSigned()
+	if r := Pow(x, FromUint64(8, 2)); !r.Signed() {
+		t.Error("x ** 2 with signed base lost the signed flag")
+	}
+	if r := Pow(FromInt64(8, 2), FromBitString("x")); !r.Signed() {
+		t.Error("2 ** x with signed base lost the signed flag")
+	}
+	if r := Pow(FromUint64(8, 2), FromBitString("x")); r.Signed() {
+		t.Error("unsigned base must stay unsigned on the all-x path")
+	}
+}
+
+// TestPresizedOpsMatchGeneral pins the presized entry points: under the
+// contract (equal width and signedness) they must equal the general ops,
+// and they must fall back correctly when the contract is violated.
+func TestPresizedOpsMatchGeneral(t *testing.T) {
+	pairs := []struct {
+		g, p func(a, b Value) Value
+		name string
+	}{
+		{Add, AddPresized, "add"},
+		{Sub, SubPresized, "sub"},
+		{Mul, MulPresized, "mul"},
+		{And, AndPresized, "and"},
+		{Or, OrPresized, "or"},
+		{Xor, XorPresized, "xor"},
+		{Xnor, XnorPresized, "xnor"},
+	}
+	vals := []Value{
+		FromUint64(16, 0xBEEF),
+		FromInt64(16, -3).AsUnsigned(),
+		FromBitString("10xz10xz10xz10xz"),
+		FromUint64(16, 1),
+	}
+	for _, pr := range pairs {
+		for _, a := range vals {
+			for _, b := range vals {
+				want, got := pr.g(a, b), pr.p(a, b)
+				if !want.Equal(got) || want.Signed() != got.Signed() {
+					t.Errorf("%s presized(%v, %v) = %v, general = %v", pr.name, a, b, got, want)
+				}
+				as, bs := a.AsSigned(), b.AsSigned()
+				want, got = pr.g(as, bs), pr.p(as, bs)
+				if !want.Equal(got) || want.Signed() != got.Signed() {
+					t.Errorf("%s signed presized = %v, general = %v", pr.name, got, want)
+				}
+			}
+		}
+		// contract violation: mixed width and signedness falls back
+		a, b := FromUint64(8, 200), FromInt64(16, -1)
+		if want, got := pr.g(a, b), pr.p(a, b); !want.Equal(got) {
+			t.Errorf("%s fallback = %v, general = %v", pr.name, got, want)
+		}
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a := FromBitString("1z0z")
 	b := FromBitString("z10z")

@@ -413,6 +413,16 @@ func (v Value) Resize(width int) Value {
 	return out
 }
 
+// ResizeAs returns v reinterpreted with the given signedness and resized to
+// width bits in one step: exactly AsSigned()/AsUnsigned() followed by
+// Resize(width), without the intermediate clone. Compiled expression plans
+// use it to apply a pre-resolved context (width, signedness) to a runtime
+// value.
+func (v Value) ResizeAs(width int, signed bool) Value {
+	v.signed = signed // value receiver: caller's copy is untouched
+	return v.Resize(width)
+}
+
 // Concat concatenates parts MSB-first: Concat(a, b) has a in the high bits.
 func Concat(parts ...Value) Value {
 	total := 0
