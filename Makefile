@@ -3,8 +3,11 @@
 
 GO ?= go
 DATE := $(shell date +%Y%m%d)
+# same-day reruns get a numeric suffix instead of clobbering the earlier
+# file, so bench-compare always has a baseline to diff against
+BENCHFILE := $(shell f=BENCH_$(DATE).json; i=2; while [ -e $$f ]; do f=BENCH_$(DATE).$$i.json; i=$$((i+1)); done; echo $$f)
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench bench-compare clean
 
 all: build test
 
@@ -25,9 +28,15 @@ race:
 # -json emits the test2json stream (one JSON object per line) including
 # every Benchmark output line, so the file is grep- and jq-friendly.
 bench:
-	$(GO) test -json -run '^$$' -bench . -benchmem . > BENCH_$(DATE).json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_$(DATE).json | sed 's/"Output":"//;s/\\n//' || true
-	@echo "wrote BENCH_$(DATE).json"
+	$(GO) test -json -run '^$$' -bench . -benchmem . > $(BENCHFILE)
+	@grep -o '"Output":"Benchmark[^"]*' $(BENCHFILE) | sed 's/"Output":"//;s/\\n//' || true
+	@echo "wrote $(BENCHFILE)"
+
+# bench-compare diffs the two most recent bench files with benchstat-style
+# aggregation and fails on >10% ns/op regressions in the pinned hot-path
+# benches (see cmd/vgen-benchcmp).
+bench-compare:
+	$(GO) run ./cmd/vgen-benchcmp
 
 clean:
 	rm -f BENCH_*.json

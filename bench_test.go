@@ -216,6 +216,7 @@ func benchNgram(b *testing.B, order int) {
 		data[i] = rng.Intn(64)
 	}
 	m.Train(data)
+	m.Freeze() // the production sampler; BenchmarkMapSample covers the baseline
 	b.ResetTimer()
 	srng := rand.New(rand.NewSource(3))
 	for i := 0; i < b.N; i++ {
@@ -223,18 +224,65 @@ func benchNgram(b *testing.B, order int) {
 	}
 }
 
-func BenchmarkBPEEncode(b *testing.B) {
+// BenchmarkEncode vs BenchmarkEncodeInto is the tokenizer-front-end
+// ablation: the allocating convenience entry point against the
+// reusable-buffer path the generation hot loops use.
+func benchEncodeDocs() (*bpe.Tokenizer, []string) {
 	docs := []string{}
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 30; i++ {
 		docs = append(docs, corpus.NormalizeForLM(corpus.GenerateModule(rng)))
 	}
-	tok := bpe.Train(docs, 512)
+	return bpe.Train(docs, 512), docs
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tok, docs := benchEncodeDocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tok.Encode(docs[i%len(docs)])
 	}
 }
+
+func BenchmarkEncodeInto(b *testing.B) {
+	tok, docs := benchEncodeDocs()
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tok.EncodeInto(buf[:0], docs[i%len(docs)])
+	}
+	_ = buf
+}
+
+// BenchmarkFrozenSample vs BenchmarkMapSample is the frozen-sampler
+// ablation (DESIGN.md Section 8): the same babble-shaped generation load
+// — order-4 LM over BPE-encoded normalized modules, 120 tokens per
+// completion at a mid sweep temperature — through the packed immutable
+// sampler and through the map-of-maps baseline.
+func benchSampler(b *testing.B, freeze bool) {
+	tok, docs := benchEncodeDocs()
+	m := ngram.New(4)
+	var buf []int
+	for _, d := range docs {
+		buf = tok.EncodeInto(buf[:0], d)
+		m.Train(buf)
+	}
+	if freeze {
+		m.Freeze()
+	}
+	prompt := tok.Encode(docs[0])
+	if len(prompt) > 64 {
+		prompt = prompt[len(prompt)-64:]
+	}
+	b.ResetTimer()
+	srng := rand.New(rand.NewSource(10))
+	for i := 0; i < b.N; i++ {
+		m.Generate(prompt, 120, 0.7, srng)
+	}
+}
+
+func BenchmarkFrozenSample(b *testing.B) { benchSampler(b, true) }
+func BenchmarkMapSample(b *testing.B)    { benchSampler(b, false) }
 
 func BenchmarkBPETrainVocab512(b *testing.B) {
 	docs := []string{}

@@ -48,8 +48,18 @@ func main() {
 	fmt.Println("Tokenizer:")
 	fmt.Printf("  vocabulary:          %d tokens (%d merges)\n", tok.VocabSize(), tok.NumMerges())
 	if len(texts) > 0 {
-		ids := tok.Encode(texts[0])
-		fmt.Printf("  sample compression:  %d bytes -> %d tokens\n", len(texts[0]), len(ids))
+		// token counts over the whole stream, one reused buffer
+		var ids []int
+		total, sample := 0, 0
+		for i, t := range texts {
+			ids = tok.EncodeInto(ids[:0], t)
+			total += len(ids)
+			if i == 0 {
+				sample = len(ids)
+			}
+		}
+		fmt.Printf("  sample compression:  %d bytes -> %d tokens\n", len(texts[0]), sample)
+		fmt.Printf("  corpus tokens:       %d\n", total)
 	}
 
 	if *showSample && len(kept) > 0 {

@@ -3,17 +3,25 @@
 //
 // Usage:
 //
-//	vgen-eval [-seed N] [-n N] [-quick] [-workers N] [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|list]
+//	vgen-eval [-seed N] [-n N] [-quick] [-workers N] [-map-sampler]
+//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|list]
 //
 // -quick restricts the sweep to t=0.1 and small n, which preserves the
 // best-temperature table values (best is t=0.1 by construction and in the
 // paper) while running in seconds.
+//
+// -cpuprofile/-memprofile capture pprof profiles from the real binary
+// under real sweep traffic, so hot spots can be read off production-shaped
+// runs rather than microbenches.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -27,6 +35,9 @@ func main() {
 	experiment := flag.String("experiment", "all", "which artifact to regenerate")
 	corpusFiles := flag.Int("corpus-files", 0, "synthetic corpus size (0 = default)")
 	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
+	mapSampler := flag.Bool("map-sampler", false, "sample from the map-backed n-gram baseline instead of the frozen tables (identical output, slower)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	sweep := eval.SweepOptions{N: *n}
@@ -44,7 +55,35 @@ func main() {
 		return
 	}
 
-	fw := core.New(core.Config{Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep, Workers: *workers})
+	switch *experiment {
+	case "all", "table1", "table2", "table3", "table4", "fig6", "fig7",
+		"headline", "ablation", "corpus", "gallery", "passk", "problems", "lint":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", *experiment)
+		os.Exit(2)
+	}
+
+	stopCPU := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
+	fw := core.New(core.Config{
+		Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep,
+		Workers: *workers, MapSampler: *mapSampler,
+	})
 	h := fw.Harness
 
 	run := func(name string, f func() string) {
@@ -67,11 +106,21 @@ func main() {
 	run("problems", h.ProblemBreakdown)
 	run("lint", h.LintReport)
 
-	switch *experiment {
-	case "all", "table1", "table2", "table3", "table4", "fig6", "fig7",
-		"headline", "ablation", "corpus", "gallery", "passk", "problems", "lint":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", *experiment)
-		os.Exit(2)
+	// Finish the CPU profile before anything that can exit, so a
+	// memprofile failure never leaves a truncated cpuprofile behind.
+	stopCPU()
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

@@ -20,7 +20,8 @@ type Config struct {
 	CorpusFiles int              // synthetic GitHub corpus size; 0 = default
 	Corpus      model.CorpusKind // fine-tuning corpus (ablation handle)
 	Sweep       eval.SweepOptions
-	Workers     int // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
+	Workers     int  // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
+	MapSampler  bool // keep n-gram LMs on the map-backed baseline sampler
 }
 
 // Framework is a fully wired evaluation stack.
@@ -38,6 +39,7 @@ func New(cfg Config) *Framework {
 		Seed:        cfg.Seed,
 		CorpusFiles: cfg.CorpusFiles,
 		Corpus:      cfg.Corpus,
+		MapSampler:  cfg.MapSampler,
 	})
 	runner := eval.NewRunner(fam, cfg.Seed)
 	runner.Workers = cfg.Workers

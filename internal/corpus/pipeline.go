@@ -100,15 +100,22 @@ func TrainingText(files []File) []string {
 	return out
 }
 
+// Comment strippers for NormalizeForLM, compiled once: the generation
+// front-end normalizes every prompt, so per-call regexp.MustCompile here
+// used to dominate the babble path.
+var (
+	lineCommentRe  = regexp.MustCompile(`//[^\n]*`)
+	blockCommentRe = regexp.MustCompile(`(?s)/\*.*?\*/`)
+)
+
 // NormalizeForLM canonicalizes Verilog text for language-model training:
 // comments dropped, whitespace collapsed, punctuation space-separated so
 // the BPE tokenizer sees a stable word stream.
 func NormalizeForLM(content string) string {
-	lineRe := regexp.MustCompile(`//[^\n]*`)
-	blockRe := regexp.MustCompile(`(?s)/\*.*?\*/`)
-	content = lineRe.ReplaceAllString(content, "")
-	content = blockRe.ReplaceAllString(content, "")
+	content = lineCommentRe.ReplaceAllString(content, "")
+	content = blockCommentRe.ReplaceAllString(content, "")
 	var sb strings.Builder
+	sb.Grow(len(content) + len(content)/4)
 	for _, r := range content {
 		switch r {
 		case '(', ')', '[', ']', '{', '}', ';', ',', ':', '@', '#', '=',

@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+// TestFrozenSweepMatchesMapSweep pins the frozen generation front-end at
+// the sweep level: a full EvaluateBatch over every (problem, level,
+// temperature) cell must produce identical CellStats whether the family
+// samples from the packed tables or the map baseline, and whether the
+// pool runs serial or 8 wide — the frozen path must not disturb the
+// engine's determinism contract.
+func TestFrozenSweepMatchesMapSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two model families")
+	}
+	frozen := model.NewFamily(model.Config{Seed: 9, CorpusFiles: 25})
+	mapped := model.NewFamily(model.Config{Seed: 9, CorpusFiles: 25, MapSampler: true})
+
+	var qs []Query
+	for _, p := range problems.All() {
+		for _, l := range problems.Levels {
+			for _, temp := range []float64{0.1, 1.0} {
+				qs = append(qs, Query{
+					Model: model.Megatron355M, Variant: model.Pretrained,
+					Problem: p, Level: l, Temperature: temp, N: 3,
+				})
+			}
+		}
+	}
+
+	var results [][]CellStats
+	for _, fam := range []*model.Family{frozen, mapped} {
+		for _, workers := range []int{1, 8} {
+			r := NewRunner(fam, 77)
+			r.Workers = workers
+			results = append(results, r.EvaluateBatch(qs))
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		for qi := range qs {
+			if results[i][qi] != results[0][qi] {
+				t.Fatalf("run %d query %d (problem %d %s t=%.1f): %+v != baseline %+v",
+					i, qi, qs[qi].Problem.Number, qs[qi].Level, qs[qi].Temperature,
+					results[i][qi], results[0][qi])
+			}
+		}
+	}
+}

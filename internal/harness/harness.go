@@ -36,7 +36,8 @@ type Options struct {
 	CorpusFiles int // synthetic corpus scale; 0 = family default
 	Sweep       eval.SweepOptions
 	Corpus      model.CorpusKind
-	Workers     int // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
+	Workers     int  // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
+	MapSampler  bool // keep n-gram LMs on the map-backed baseline sampler
 }
 
 // New builds a harness with a fresh model family.
@@ -45,6 +46,7 @@ func New(o Options) *Harness {
 		Seed:        o.Seed,
 		CorpusFiles: o.CorpusFiles,
 		Corpus:      o.Corpus,
+		MapSampler:  o.MapSampler,
 	})
 	runner := eval.NewRunner(fam, o.Seed)
 	runner.Workers = o.Workers

@@ -1,0 +1,42 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/problems"
+)
+
+// TestFrozenFamilyMatchesMapFamily is the generation-front-end
+// equivalence contract: two families differing only in Config.MapSampler
+// must emit byte-identical completions (text, mechanism, and latency) for
+// every (problem, level, temperature) cell and sample stream. Megatron
+// pre-trained has the lowest priors, so its samples exercise the
+// babble path — the only mechanism that actually runs the n-gram
+// sampler — constantly.
+func TestFrozenFamilyMatchesMapFamily(t *testing.T) {
+	frozen := NewFamily(Config{Seed: 3, CorpusFiles: 25})
+	mapped := NewFamily(Config{Seed: 3, CorpusFiles: 25, MapSampler: true})
+	for _, id := range []ID{Megatron355M, CodeGen16B} {
+		gf, ok := frozen.Generator(id, Pretrained)
+		if !ok {
+			t.Fatalf("no generator for %s", id)
+		}
+		gm, _ := mapped.Generator(id, Pretrained)
+		for _, p := range problems.All() {
+			for _, level := range problems.Levels {
+				for _, temp := range []float64{0.1, 0.5, 1.0} {
+					base := int64(p.Number)*1000 + int64(level)*100 + int64(temp*10)
+					for idx := 0; idx < 3; idx++ {
+						sf := gf.CompleteAt(p, level, temp, idx, base)
+						sm := gm.CompleteAt(p, level, temp, idx, base)
+						if sf != sm {
+							t.Fatalf("%s problem %d %s t=%.1f idx %d diverged:\nfrozen: %q (%s)\nmap:    %q (%s)",
+								id, p.Number, level, temp, idx,
+								sf.Completion, sf.Mechanism, sm.Completion, sm.Mechanism)
+						}
+					}
+				}
+			}
+		}
+	}
+}

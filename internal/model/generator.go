@@ -38,6 +38,12 @@ type Config struct {
 	// best temperature t=0.1 (Fig. 6 shows exponential decay).
 	TempDecayFunctional float64 // 0 = 2.0
 	TempDecayCompile    float64 // 0 = 1.0
+
+	// MapSampler keeps the n-gram LMs on the mutable map-backed sampling
+	// path instead of freezing them into packed samplers after training —
+	// the differential baseline, mirroring sim.Options.Interpret. Output
+	// is byte-identical either way; only the allocation profile differs.
+	MapSampler bool
 }
 
 func (c Config) corpusFiles() int {
@@ -80,6 +86,13 @@ type Family struct {
 
 	lmMu sync.Mutex        // guards the slot map only
 	lms  map[lmKey]*lmSlot // per-key training runs under the slot's once
+
+	prompts sync.Map // promptKey -> []int: normalized+encoded prompt ids (read-only after store)
+}
+
+type promptKey struct {
+	problem int
+	level   problems.Level
 }
 
 type lmKey struct {
@@ -155,12 +168,34 @@ func (f *Family) lm(order int, v Variant) *ngram.Model {
 		if v == FineTuned {
 			texts = f.verilogText
 		}
+		var buf []int
 		for _, t := range texts {
-			m.Train(f.tok.Encode(t))
+			buf = f.tok.EncodeInto(buf[:0], t)
+			m.Train(buf)
+		}
+		if !f.cfg.MapSampler {
+			m.Freeze()
 		}
 		s.m = m
 	})
 	return s.m
+}
+
+// promptIDs returns the babble prompt token window for (problem, level):
+// the normalized prompt, BPE-encoded, clipped to its last 64 ids. Cached
+// per family — normalization and encoding are identical for every sample
+// of a cell, and the cached slice is only ever read.
+func (f *Family) promptIDs(p *problems.Problem, level problems.Level) []int {
+	key := promptKey{problem: p.Number, level: level}
+	if ids, ok := f.prompts.Load(key); ok {
+		return ids.([]int)
+	}
+	ids := f.tok.Encode(corpus.NormalizeForLM(p.Prompt(level)))
+	if len(ids) > 64 {
+		ids = ids[len(ids)-64:]
+	}
+	got, _ := f.prompts.LoadOrStore(key, ids)
+	return got.([]int)
 }
 
 // Generator is one (model, variant) pair ready to produce completions.
@@ -281,10 +316,7 @@ func (g *Generator) CompleteN(p *problems.Problem, level problems.Level, tempera
 // model's token budget — the paper's "does not even compile" bucket.
 func (g *Generator) babble(p *problems.Problem, level problems.Level, temperature float64, rng *rand.Rand) string {
 	lm := g.family.lm(g.Spec.NgramOrder, g.Variant)
-	promptIDs := g.family.tok.Encode(corpus.NormalizeForLM(p.Prompt(level)))
-	if len(promptIDs) > 64 {
-		promptIDs = promptIDs[len(promptIDs)-64:]
-	}
+	promptIDs := g.family.promptIDs(p, level)
 	maxTok := g.Spec.MaxTokens
 	if maxTok > 120 {
 		maxTok = 120 // babble needs no more to be conclusively broken

@@ -5,11 +5,21 @@
 // and the free-running completions it produces are what flow through the
 // compile/functional pipeline when a model emits neither a correct nor a
 // near-miss solution.
+//
+// Training mutates a map-of-maps count store. After training, Freeze
+// compiles that store into a packed immutable sampler (open-addressed
+// context tables keyed by uint64 hashes, per-context sorted next-token
+// arrays with cumulative counts) so the per-step sampling path allocates
+// nothing. The map store stays intact as the differential baseline; both
+// paths draw from shared selection code and are byte-identical for every
+// temperature and RNG stream.
 package ngram
 
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 )
 
 // Model is an order-k n-gram LM with stupid-backoff smoothing.
@@ -18,6 +28,7 @@ type Model struct {
 	counts []map[string]*dist // counts[n] holds (n-token context) -> next-token distribution
 	vocab  map[int]bool
 	total  int
+	frozen *frozenModel // packed sampler; nil until Freeze, cleared by Train
 }
 
 type dist struct {
@@ -48,17 +59,52 @@ func (m *Model) VocabSeen() int { return len(m.vocab) }
 // TokensTrained returns the total number of training tokens consumed.
 func (m *Model) TokensTrained() int { return m.total }
 
+// wideTok is the first token id that no longer fits the compact 3-byte
+// context-key encoding. Ids at or above it (and negative ids) escape to a
+// marker + 8-byte form; the marker bytes 0xFF 0xFF 0xFF are unreachable in
+// the 3-byte form (they would decode to wideTok itself), so keys stay
+// injective across mixed widths. The pre-guard encoding silently truncated
+// ids to 24 bits, colliding contexts that differed only in high bits.
+const wideTok = 0xFFFFFF
+
 func ctxKey(toks []int) string {
-	// compact byte key; token ids fit in 3 bytes for our vocabularies
 	b := make([]byte, 0, len(toks)*3)
 	for _, t := range toks {
-		b = append(b, byte(t), byte(t>>8), byte(t>>16))
+		if t >= 0 && t < wideTok {
+			b = append(b, byte(t), byte(t>>8), byte(t>>16))
+			continue
+		}
+		u := uint64(t)
+		b = append(b, 0xFF, 0xFF, 0xFF,
+			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 	}
 	return string(b)
 }
 
-// Train consumes one token sequence (a document).
+// ctxKeyTokens decodes a context key back to its token ids (Freeze walks
+// the trained map keys to build the packed tables).
+func ctxKeyTokens(key string, n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < len(key); {
+		if key[i] == 0xFF && key[i+1] == 0xFF && key[i+2] == 0xFF {
+			u := uint64(key[i+3]) | uint64(key[i+4])<<8 | uint64(key[i+5])<<16 |
+				uint64(key[i+6])<<24 | uint64(key[i+7])<<32 | uint64(key[i+8])<<40 |
+				uint64(key[i+9])<<48 | uint64(key[i+10])<<56
+			out = append(out, int(u))
+			i += 11
+			continue
+		}
+		out = append(out, int(key[i])|int(key[i+1])<<8|int(key[i+2])<<16)
+		i += 3
+	}
+	return out
+}
+
+// Train consumes one token sequence (a document). Training invalidates any
+// packed sampler built by an earlier Freeze.
 func (m *Model) Train(tokens []int) {
+	m.frozen = nil
 	for i, tok := range tokens {
 		m.vocab[tok] = true
 		m.total++
@@ -93,71 +139,254 @@ func (m *Model) contextDist(history []int) *dist {
 	return nil
 }
 
+// ---- shared selection core -------------------------------------------------
+
+// sortedDist is one next-token distribution viewed as ascending token ids
+// with inclusive cumulative counts. Both the map path (which builds the
+// view per call) and the frozen path (which stores it packed) sample
+// through the same pick method, so the two engines are byte-identical by
+// construction.
+type sortedDist struct {
+	toks []int64
+	cum  []int64
+}
+
+func (d sortedDist) count(i int) int64 {
+	if i == 0 {
+		return d.cum[0]
+	}
+	return d.cum[i] - d.cum[i-1]
+}
+
+// pick draws one token. Temperature 0 is greedy (ties break to the
+// smallest token id); temperature 1 is a binary search over the integer
+// cumulative counts (one rng draw, no float weight construction); other
+// temperatures build softmax-over-log-count cumulative weights in scratch
+// and binary-search those. Exactly one rng.Float64 is consumed per draw
+// for every temperature > 0.
+func (d sortedDist) pick(temperature float64, rng *rand.Rand, scratch *[]float64) int {
+	n := len(d.toks)
+	if temperature <= 0 {
+		best, bestCount := 0, int64(-1)
+		for i := 0; i < n; i++ {
+			if c := d.count(i); c > bestCount {
+				best, bestCount = i, c
+			}
+		}
+		return int(d.toks[best])
+	}
+	if temperature == 1 {
+		r := rng.Float64() * float64(d.cum[n-1])
+		i := sort.Search(n, func(i int) bool { return float64(d.cum[i]) > r })
+		if i >= n {
+			i = n - 1
+		}
+		return int(d.toks[i])
+	}
+	w := (*scratch)[:0]
+	maxLog := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		l := math.Log(float64(d.count(i))) / temperature
+		if l > maxLog {
+			maxLog = l
+		}
+		w = append(w, l)
+	}
+	total := 0.0
+	for i := range w {
+		total += math.Exp(w[i] - maxLog)
+		w[i] = total
+	}
+	*scratch = w
+	r := rng.Float64() * total
+	i := sort.Search(n, func(i int) bool { return w[i] > r })
+	if i >= n {
+		i = n - 1
+	}
+	return int(d.toks[i])
+}
+
+// sortedFromMap builds the selection view of a map-backed distribution
+// (the differential-baseline path; allocates per call).
+func sortedFromMap(d *dist) sortedDist {
+	toks := make([]int64, 0, len(d.next))
+	for t := range d.next {
+		toks = append(toks, int64(t))
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	cum := make([]int64, len(toks))
+	var c int64
+	for i, t := range toks {
+		c += int64(d.next[int(t)])
+		cum[i] = c
+	}
+	return sortedDist{toks: toks, cum: cum}
+}
+
+// scratchPool holds the per-goroutine float scratch the temperature!=1
+// path accumulates weights into.
+var scratchPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 64)
+	return &s
+}}
+
+// ---- frozen sampler ---------------------------------------------------------
+
+// frozenModel is the packed immutable sampler: one open-addressed context
+// table per backoff level, each entry pointing at a slice of the level's
+// shared sorted-token/cumulative-count arrays. Lookups hash the history
+// suffix to a uint64 (full token width; no truncation) and verify the
+// stored context ids, so hash collisions cost a probe, never a wrong
+// distribution.
+type frozenModel struct {
+	levels []frozenLevel
+}
+
+type frozenLevel struct {
+	n       int
+	mask    uint32
+	table   []int32 // entry index + 1; 0 = empty slot
+	ctxToks []int64 // packed contexts, n ids per entry
+	distOff []int32 // entry i's dist is toks/cum[distOff[i]:distOff[i+1]]
+	toks    []int64
+	cum     []int64
+}
+
+// mix64 is the splitmix64 finalizer, applied per context token.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func hashTokens(ctx []int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, t := range ctx {
+		h = mix64(h ^ uint64(t))
+	}
+	return h
+}
+
+// Freeze compiles the trained counts into the packed sampler. The map
+// store is left untouched (Perplexity and the differential baseline keep
+// reading it); sampling switches to the packed tables until the next
+// Train. Token ids are carried full-width; no id range is corrupted.
+func (m *Model) Freeze() {
+	fz := &frozenModel{levels: make([]frozenLevel, m.order)}
+	for n := 0; n < m.order; n++ {
+		lvl := &fz.levels[n]
+		lvl.n = n
+		size := 4
+		for size < 2*len(m.counts[n]) {
+			size <<= 1
+		}
+		lvl.table = make([]int32, size)
+		lvl.mask = uint32(size - 1)
+		lvl.distOff = append(lvl.distOff, 0)
+		for key, d := range m.counts[n] {
+			ctx := ctxKeyTokens(key, n)
+			entry := int32(len(lvl.distOff) - 1)
+			for _, t := range ctx {
+				lvl.ctxToks = append(lvl.ctxToks, int64(t))
+			}
+			sd := sortedFromMap(d)
+			lvl.toks = append(lvl.toks, sd.toks...)
+			lvl.cum = append(lvl.cum, sd.cum...)
+			lvl.distOff = append(lvl.distOff, int32(len(lvl.toks)))
+			idx := uint32(hashTokens(ctx)) & lvl.mask
+			for lvl.table[idx] != 0 {
+				idx = (idx + 1) & lvl.mask
+			}
+			lvl.table[idx] = entry + 1
+		}
+	}
+	m.frozen = fz
+}
+
+// Frozen reports whether the model currently samples from the packed
+// tables.
+func (m *Model) Frozen() bool { return m.frozen != nil }
+
+// find returns the entry index for the context, or -1.
+func (lvl *frozenLevel) find(ctx []int) int {
+	idx := uint32(hashTokens(ctx)) & lvl.mask
+	for {
+		e := lvl.table[idx]
+		if e == 0 {
+			return -1
+		}
+		off := int(e-1) * lvl.n
+		match := true
+		for i, t := range ctx {
+			if lvl.ctxToks[off+i] != int64(t) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return int(e - 1)
+		}
+		idx = (idx + 1) & lvl.mask
+	}
+}
+
+func (fz *frozenModel) sample(history []int, temperature float64, rng *rand.Rand, scratch *[]float64) (int, bool) {
+	for n := len(fz.levels) - 1; n >= 0; n-- {
+		if len(history) < n {
+			continue
+		}
+		lvl := &fz.levels[n]
+		e := lvl.find(history[len(history)-n:])
+		if e < 0 {
+			continue
+		}
+		d := sortedDist{
+			toks: lvl.toks[lvl.distOff[e]:lvl.distOff[e+1]],
+			cum:  lvl.cum[lvl.distOff[e]:lvl.distOff[e+1]],
+		}
+		return d.pick(temperature, rng, scratch), true
+	}
+	return 0, false
+}
+
+// ---- sampling entry points ---------------------------------------------------
+
 // Sample draws the next token given history at the given temperature.
 // Temperature 0 is greedy; higher temperatures flatten the distribution.
 // The boolean is false when the model has no distribution at all (untrained).
 func (m *Model) Sample(history []int, temperature float64, rng *rand.Rand) (int, bool) {
+	scratch := scratchPool.Get().(*[]float64)
+	tok, ok := m.sample(history, temperature, rng, scratch)
+	scratchPool.Put(scratch)
+	return tok, ok
+}
+
+func (m *Model) sample(history []int, temperature float64, rng *rand.Rand, scratch *[]float64) (int, bool) {
+	if m.frozen != nil {
+		return m.frozen.sample(history, temperature, rng, scratch)
+	}
 	d := m.contextDist(history)
 	if d == nil {
 		return 0, false
 	}
-	if temperature <= 0 {
-		best, bestCount := 0, -1
-		for tok, c := range d.next {
-			if c > bestCount || (c == bestCount && tok < best) {
-				best, bestCount = tok, c
-			}
-		}
-		return best, true
-	}
-	// softmax over log counts scaled by 1/temperature, computed stably
-	cands := make([]scoredTok, 0, len(d.next))
-	maxLog := math.Inf(-1)
-	for tok, c := range d.next {
-		l := math.Log(float64(c)) / temperature
-		if l > maxLog {
-			maxLog = l
-		}
-		cands = append(cands, scoredTok{tok: tok, w: l})
-	}
-	// deterministic order for reproducible sampling
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && cands[j].tok < cands[j-1].tok; j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
-		}
-	}
-	total := 0.0
-	for i := range cands {
-		cands[i].w = math.Exp(cands[i].w - maxLog)
-		total += cands[i].w
-	}
-	r := rng.Float64() * total
-	for _, c := range cands {
-		r -= c.w
-		if r <= 0 {
-			return c.tok, true
-		}
-	}
-	return cands[len(cands)-1].tok, true
-}
-
-type scoredTok struct {
-	tok int
-	w   float64
+	return sortedFromMap(d).pick(temperature, rng, scratch), true
 }
 
 // Generate produces up to maxTokens tokens continuing the prompt.
 func (m *Model) Generate(prompt []int, maxTokens int, temperature float64, rng *rand.Rand) []int {
-	history := append([]int(nil), prompt...)
-	var out []int
+	scratch := scratchPool.Get().(*[]float64)
+	history := make([]int, len(prompt), len(prompt)+maxTokens)
+	copy(history, prompt)
+	out := make([]int, 0, maxTokens)
 	for len(out) < maxTokens {
-		tok, ok := m.Sample(history, temperature, rng)
+		tok, ok := m.sample(history, temperature, rng, scratch)
 		if !ok {
 			break
 		}
 		out = append(out, tok)
 		history = append(history, tok)
 	}
+	scratchPool.Put(scratch)
 	return out
 }
 

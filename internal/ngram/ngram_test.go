@@ -128,3 +128,122 @@ func TestOrderClampedToOne(t *testing.T) {
 		t.Fatalf("unigram sample = %d, %v", tok, ok)
 	}
 }
+
+// TestFrozenMatchesMapSampler is the equivalence contract of the packed
+// sampler: for every temperature regime (greedy, the t=1 integer
+// cumulative-count search, and the general softmax path) a frozen model
+// must generate the exact token stream the map-backed baseline does on
+// the same RNG stream.
+func TestFrozenMatchesMapSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := make([]int, 4000)
+	for i := range data {
+		data[i] = rng.Intn(90)
+	}
+	for _, order := range []int{1, 2, 4} {
+		mapM := New(order)
+		frozenM := New(order)
+		mapM.Train(data)
+		frozenM.Train(data)
+		frozenM.Freeze()
+		if !frozenM.Frozen() || mapM.Frozen() {
+			t.Fatal("freeze state wrong")
+		}
+		for _, temp := range []float64{0, 0.1, 0.5, 1.0, 1.3, 2.0} {
+			for seed := int64(0); seed < 20; seed++ {
+				prompt := data[int(seed)*7 : int(seed)*7+3]
+				g1 := mapM.Generate(prompt, 80, temp, rand.New(rand.NewSource(seed)))
+				g2 := frozenM.Generate(prompt, 80, temp, rand.New(rand.NewSource(seed)))
+				if len(g1) != len(g2) {
+					t.Fatalf("order %d t=%.1f seed %d: lengths %d vs %d", order, temp, seed, len(g1), len(g2))
+				}
+				for i := range g1 {
+					if g1[i] != g2[i] {
+						t.Fatalf("order %d t=%.1f seed %d: token %d diverged: map %d frozen %d",
+							order, temp, seed, i, g1[i], g2[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWideTokenContextsDistinct pins the ctxKey width guard: token ids
+// that differ only above bit 23 used to collide under the silent 3-byte
+// truncation, merging unrelated contexts. Both the guarded map path and
+// the frozen hash path must keep them apart.
+func TestWideTokenContextsDistinct(t *testing.T) {
+	const wide = 1 << 24
+	check := func(m *Model, label string) {
+		t.Helper()
+		if tok, ok := m.Sample(seq(5), 0, rand.New(rand.NewSource(1))); !ok || tok != 100 {
+			t.Fatalf("%s: after [5] got %d, want 100", label, tok)
+		}
+		if tok, ok := m.Sample(seq(5+wide), 0, rand.New(rand.NewSource(1))); !ok || tok != 200 {
+			t.Fatalf("%s: after [5+2^24] got %d, want 200", label, tok)
+		}
+	}
+	m := New(2)
+	m.Train(seq(5, 100))
+	m.Train(seq(5+wide, 200))
+	check(m, "map")
+	m.Freeze()
+	check(m, "frozen")
+}
+
+// TestCtxKeyInjective exercises the mixed-width key encoding directly:
+// boundary ids around the escape threshold, negatives, and the marker
+// value itself must all round-trip and stay distinct.
+func TestCtxKeyInjective(t *testing.T) {
+	ids := []int{0, 1, 255, 65535, wideTok - 1, wideTok, wideTok + 1, 1 << 30, -1, -(1 << 30)}
+	seen := map[string][]int{}
+	for _, a := range ids {
+		for _, b := range ids {
+			ctx := []int{a, b}
+			key := ctxKey(ctx)
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("key collision: %v and %v", prev, ctx)
+			}
+			seen[key] = ctx
+			got := ctxKeyTokens(key, 2)
+			if len(got) != 2 || got[0] != a || got[1] != b {
+				t.Fatalf("round trip %v -> %v", ctx, got)
+			}
+		}
+	}
+}
+
+// TestTrainInvalidatesFrozen pins Freeze staleness handling: training
+// after a freeze must drop the packed tables so samples see the new
+// counts.
+func TestTrainInvalidatesFrozen(t *testing.T) {
+	m := New(2)
+	m.Train(seq(1, 2))
+	m.Freeze()
+	m.Train(seq(1, 3, 1, 3, 1, 3))
+	if m.Frozen() {
+		t.Fatal("Train did not invalidate the frozen sampler")
+	}
+	if tok, _ := m.Sample(seq(1), 0, rand.New(rand.NewSource(1))); tok != 3 {
+		t.Fatalf("post-retrain greedy = %d, want 3", tok)
+	}
+}
+
+// TestHugeTokenIDsSurviveSampling pins full-width id handling in the
+// selection core: ids at and above 2^31 must come back unmangled from
+// both the map and frozen paths (an earlier cut stored next-token ids as
+// int32, silently wrapping 1<<31 to -2^31).
+func TestHugeTokenIDsSurviveSampling(t *testing.T) {
+	const huge = 1 << 31
+	m := New(2)
+	m.Train(seq(1, huge, 1, huge))
+	for _, label := range []string{"map", "frozen"} {
+		if tok, ok := m.Sample(seq(1), 0, rand.New(rand.NewSource(1))); !ok || tok != huge {
+			t.Fatalf("%s: greedy after [1] = %d, want %d", label, tok, huge)
+		}
+		if tok, ok := m.Sample(seq(1), 1.0, rand.New(rand.NewSource(2))); !ok || tok != huge {
+			t.Fatalf("%s: t=1 after [1] = %d, want %d", label, tok, huge)
+		}
+		m.Freeze()
+	}
+}

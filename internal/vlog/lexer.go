@@ -16,6 +16,11 @@ func (e *LexError) Error() string { return fmt.Sprintf("%s: lex error: %s", e.Po
 // Lexer turns Verilog source text into tokens. Compiler directives
 // (`timescale, `define, ...) are skipped to end of line, matching how the
 // evaluation pipeline treats them (they never affect the subset semantics).
+//
+// Token text is a zero-copy slice of src wherever the token's value equals
+// its spelling — identifiers, numbers, system names, and strings without
+// escapes; only escaped strings materialize a fresh string. Punctuation
+// resolves to interned constants via a first-byte switch.
 type Lexer struct {
 	src  string
 	off  int
@@ -54,6 +59,12 @@ func (lx *Lexer) advance() byte {
 		lx.col++
 	}
 	return c
+}
+
+// advanceN skips n bytes known to contain no newline.
+func (lx *Lexer) advanceN(n int) {
+	lx.off += n
+	lx.col += n
 }
 
 func isIdentStart(c byte) bool {
@@ -116,12 +127,135 @@ func (lx *Lexer) skipSpaceAndComments() error {
 	return nil
 }
 
-// punctuation, longest first within each leading byte
-var puncts = []string{
-	"<<<", ">>>", "===", "!==",
-	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "**", "~&", "~|", "~^", "^~", "+:", "-:",
-	"(", ")", "[", "]", "{", "}", ";", ":", ",", ".", "#", "@", "=", "+", "-", "*", "/", "%",
-	"&", "|", "^", "~", "!", "<", ">", "?",
+// lexPunct resolves operators and punctuation, longest match first within
+// each leading byte. The returned text is always an interned constant.
+func (lx *Lexer) lexPunct(p Pos) (Token, error) {
+	rest := lx.src[lx.off:]
+	has := func(s string) bool { return strings.HasPrefix(rest, s) }
+	var op string
+	switch rest[0] {
+	case '<':
+		switch {
+		case has("<<<"):
+			op = "<<<"
+		case has("<<"):
+			op = "<<"
+		case has("<="):
+			op = "<="
+		default:
+			op = "<"
+		}
+	case '>':
+		switch {
+		case has(">>>"):
+			op = ">>>"
+		case has(">>"):
+			op = ">>"
+		case has(">="):
+			op = ">="
+		default:
+			op = ">"
+		}
+	case '=':
+		switch {
+		case has("==="):
+			op = "==="
+		case has("=="):
+			op = "=="
+		default:
+			op = "="
+		}
+	case '!':
+		switch {
+		case has("!=="):
+			op = "!=="
+		case has("!="):
+			op = "!="
+		default:
+			op = "!"
+		}
+	case '&':
+		if has("&&") {
+			op = "&&"
+		} else {
+			op = "&"
+		}
+	case '|':
+		if has("||") {
+			op = "||"
+		} else {
+			op = "|"
+		}
+	case '*':
+		if has("**") {
+			op = "**"
+		} else {
+			op = "*"
+		}
+	case '~':
+		switch {
+		case has("~&"):
+			op = "~&"
+		case has("~|"):
+			op = "~|"
+		case has("~^"):
+			op = "~^"
+		default:
+			op = "~"
+		}
+	case '^':
+		if has("^~") {
+			op = "^~"
+		} else {
+			op = "^"
+		}
+	case '+':
+		if has("+:") {
+			op = "+:"
+		} else {
+			op = "+"
+		}
+	case '-':
+		if has("-:") {
+			op = "-:"
+		} else {
+			op = "-"
+		}
+	case '(':
+		op = "("
+	case ')':
+		op = ")"
+	case '[':
+		op = "["
+	case ']':
+		op = "]"
+	case '{':
+		op = "{"
+	case '}':
+		op = "}"
+	case ';':
+		op = ";"
+	case ':':
+		op = ":"
+	case ',':
+		op = ","
+	case '.':
+		op = "."
+	case '#':
+		op = "#"
+	case '@':
+		op = "@"
+	case '/':
+		op = "/"
+	case '%':
+		op = "%"
+	case '?':
+		op = "?"
+	default:
+		return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unexpected character %q", rest[0])}
+	}
+	lx.advanceN(len(op))
+	return Token{Kind: TokPunct, Text: op, Pos: p}, nil
 }
 
 // Next returns the next token. At end of input it returns a TokEOF token.
@@ -137,10 +271,12 @@ func (lx *Lexer) Next() (Token, error) {
 	switch {
 	case isIdentStart(c):
 		start := lx.off
-		for lx.off < len(lx.src) && isIdentChar(lx.peek()) {
-			lx.advance()
+		i := lx.off
+		for i < len(lx.src) && isIdentChar(lx.src[i]) {
+			i++
 		}
-		text := lx.src[start:lx.off]
+		lx.advanceN(i - start)
+		text := lx.src[start:i]
 		kind := TokIdent
 		if IsKeyword(text) {
 			kind = TokKeyword
@@ -149,11 +285,12 @@ func (lx *Lexer) Next() (Token, error) {
 
 	case c == '$':
 		start := lx.off
-		lx.advance()
-		for lx.off < len(lx.src) && isIdentChar(lx.peek()) {
-			lx.advance()
+		i := lx.off + 1
+		for i < len(lx.src) && isIdentChar(lx.src[i]) {
+			i++
 		}
-		text := lx.src[start:lx.off]
+		lx.advanceN(i - start)
+		text := lx.src[start:i]
 		if len(text) == 1 {
 			return Token{}, &LexError{Pos: p, Msg: "bare '$'"}
 		}
@@ -163,6 +300,18 @@ func (lx *Lexer) Next() (Token, error) {
 		return lx.lexNumber(p)
 
 	case c == '"':
+		// Fast path: a string without escapes or newlines is a zero-copy
+		// slice of src between the quotes.
+		i := lx.off + 1
+		for i < len(lx.src) && lx.src[i] != '"' && lx.src[i] != '\\' && lx.src[i] != '\n' {
+			i++
+		}
+		if i < len(lx.src) && lx.src[i] == '"' {
+			text := lx.src[lx.off+1 : i]
+			lx.advanceN(i + 1 - lx.off)
+			return Token{Kind: TokString, Text: text, Pos: p}, nil
+		}
+		// Slow path: escapes materialize the unescaped value.
 		lx.advance()
 		var sb strings.Builder
 		for {
@@ -197,16 +346,7 @@ func (lx *Lexer) Next() (Token, error) {
 		return Token{Kind: TokString, Text: sb.String(), Pos: p}, nil
 
 	default:
-		rest := lx.src[lx.off:]
-		for _, op := range puncts {
-			if strings.HasPrefix(rest, op) {
-				for range op {
-					lx.advance()
-				}
-				return Token{Kind: TokPunct, Text: op, Pos: p}, nil
-			}
-		}
-		return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unexpected character %q", c)}
+		return lx.lexPunct(p)
 	}
 }
 
@@ -249,18 +389,78 @@ func (lx *Lexer) lexNumber(p Pos) (Token, error) {
 	return Token{Kind: TokNumber, Text: lx.src[start:lx.off], Pos: p}, nil
 }
 
-// LexAll tokenizes the whole input, for tests and the tokenizer pipeline.
-func LexAll(src string) ([]Token, error) {
+// estimateTokens pre-counts the tokens in src with a lightweight scan (no
+// position tracking, no token construction) so lexing can fill one
+// backing slice sized up front. Multi-byte operators and based literals
+// may count as several tokens — the estimate only has to be a capacity,
+// never short by much and never wrong.
+func estimateTokens(src string) int {
+	n := 0
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case c == '`':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			n++
+			i++
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+		case isIdentChar(c):
+			n++
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+		default:
+			n++
+			i++
+		}
+	}
+	return n
+}
+
+// lexInto appends all tokens of src onto toks (the pooled-buffer path the
+// parser uses).
+func lexInto(toks []Token, src string) ([]Token, error) {
 	lx := NewLexer(src)
-	var toks []Token
 	for {
 		t, err := lx.Next()
 		if err != nil {
-			return nil, err
+			return toks, err
 		}
 		if t.Kind == TokEOF {
 			return toks, nil
 		}
 		toks = append(toks, t)
 	}
+}
+
+// LexAll tokenizes the whole input, for tests and the tokenizer pipeline.
+// A pre-count pass sizes the result so the fill pass performs exactly one
+// slice allocation.
+func LexAll(src string) ([]Token, error) {
+	toks, err := lexInto(make([]Token, 0, estimateTokens(src)), src)
+	if err != nil {
+		return nil, err
+	}
+	return toks, nil
 }

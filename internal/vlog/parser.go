@@ -3,6 +3,7 @@ package vlog
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/vnum"
@@ -30,14 +31,32 @@ type Parser struct {
 	pos  int
 }
 
+// parserPool recycles parsers between Parse calls: the token buffer is the
+// parser's only real scratch, and reusing its backing array means
+// steady-state parsing lexes into one long-lived slice instead of growing
+// a fresh one per source text. The AST only retains Text strings (slices
+// of src), never Token values, so releasing the buffer is safe.
+var parserPool = sync.Pool{New: func() any { return &Parser{} }}
+
+// release clears the token buffer (dropping the src references it pins)
+// and returns the parser to the pool.
+func (p *Parser) release() {
+	clear(p.toks)
+	p.toks = p.toks[:0]
+	p.pos = 0
+	parserPool.Put(p)
+}
+
 // Parse parses a complete source text into a SourceFile.
 func Parse(src string) (*SourceFile, error) {
 	parseCalls.Add(1)
-	toks, err := LexAll(src)
+	p := parserPool.Get().(*Parser)
+	defer p.release()
+	toks, err := lexInto(p.toks[:0], src)
+	p.toks, p.pos = toks, 0
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks}
 	file := &SourceFile{}
 	for !p.atEOF() {
 		m, err := p.parseModule()
@@ -55,11 +74,13 @@ func Parse(src string) (*SourceFile, error) {
 // ParseExprString parses a standalone expression (used by tests and the
 // mutation engine).
 func ParseExprString(src string) (Expr, error) {
-	toks, err := LexAll(src)
+	p := parserPool.Get().(*Parser)
+	defer p.release()
+	toks, err := lexInto(p.toks[:0], src)
+	p.toks, p.pos = toks, 0
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks}
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err

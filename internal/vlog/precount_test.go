@@ -1,0 +1,37 @@
+package vlog
+
+import "testing"
+
+// TestEstimateTokensCoversLexAll guards the pre-count pass against
+// drifting from the real lexer: for every token-class-exercising source
+// the estimate must be at least the true token count (so LexAll's single
+// allocation never falls short) without wildly overshooting. A grammar
+// change that lands in Next but not in estimateTokens fails here.
+func TestEstimateTokensCoversLexAll(t *testing.T) {
+	srcs := []string{
+		"module foo (input a, output b); assign b = ~a; endmodule",
+		"a // line comment\nb /* block\ncomment */ c",
+		"`timescale 1ns/1ps\nmodule m; endmodule",
+		`$display("escaped \"text\" and \n more", x);`,
+		`$display("plain string");`,
+		"a <= b >>> 2 === c !== d ~^ e ** f <<< 3",
+		"x = 4'b10xz; y = 'd15; z = 12 'hFF; w = 8'shA5;",
+		"if (sel) q[7:0] <= {2{d}}; else q <= q + 1;",
+		"",
+		"   \t\n  ",
+		"wire [WIDTH-1:0] bus; parameter WIDTH = 8;",
+	}
+	for _, src := range srcs {
+		toks, err := LexAll(src)
+		if err != nil {
+			t.Fatalf("LexAll(%q): %v", src, err)
+		}
+		est := estimateTokens(src)
+		if est < len(toks) {
+			t.Errorf("estimate %d < %d real tokens for %q", est, len(toks), src)
+		}
+		if len(toks) > 0 && est > 3*len(toks) {
+			t.Errorf("estimate %d wildly overshoots %d real tokens for %q", est, len(toks), src)
+		}
+	}
+}
