@@ -1,0 +1,47 @@
+package bpe
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Temporary review check: search random corpora for divergence between the
+// collapsed merge loop (Encode) and the one-occurrence-per-iteration
+// reference (encodeReference).
+func TestZZReviewCollapsedLoopEquivalence(t *testing.T) {
+	letters := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(1))
+	randWord := func() string {
+		n := 1 + rng.Intn(6)
+		w := ""
+		for i := 0; i < n; i++ {
+			w += letters[rng.Intn(len(letters))]
+		}
+		return w
+	}
+	for trial := 0; trial < 20000; trial++ {
+		var corpus []string
+		nw := 2 + rng.Intn(8)
+		doc := ""
+		for i := 0; i < nw; i++ {
+			rep := 1 + rng.Intn(4)
+			w := randWord()
+			for r := 0; r < rep; r++ {
+				doc += w + " "
+			}
+		}
+		corpus = append(corpus, doc)
+		tok := Train(corpus, 256+2+rng.Intn(12))
+		for probe := 0; probe < 30; probe++ {
+			w := randWord() + randWord()
+			got := tok.Encode(w)
+			want := tok.encodeReference(w)
+			if !equalIDs(got, want) {
+				t.Fatalf("trial %d: corpus=%q vocab merges=%d word=%q got=%v want=%v tokens: %v",
+					trial, doc, tok.NumMerges(), w, got, want, tok.merges)
+			}
+		}
+		_ = fmt.Sprint
+	}
+}
