@@ -21,9 +21,9 @@ test: vet
 	$(GO) test ./...
 
 # race-checks the packages with concurrency: the parallel evaluation
-# engine and the model family it drives.
+# engine, the model family it drives, and the generation-backend layer.
 race:
-	$(GO) test -race ./internal/eval/... ./internal/model/...
+	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/...
 
 # -json emits the test2json stream (one JSON object per line) including
 # every Benchmark output line, so the file is grep- and jq-friendly.

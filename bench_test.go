@@ -44,10 +44,17 @@ func benchHarness() *harness.Harness {
 			CorpusFiles: 60,
 			Sweep:       eval.SweepOptions{N: 5, Temperatures: []float64{0.1, 0.5, 1.0}},
 		}
-		benchH = harness.New(opts)
+		var err error
+		benchH, err = harness.New(opts)
+		if err != nil {
+			panic(err)
+		}
 		alt := opts
 		alt.Corpus = model.GitHubPlusBooks
-		benchAlt = harness.New(alt)
+		benchAlt, err = harness.New(alt)
+		if err != nil {
+			panic(err)
+		}
 	})
 	return benchH
 }
@@ -404,7 +411,7 @@ func benchTableIIICold(b *testing.B, workers int) {
 	b.ResetTimer()
 	var out string
 	for i := 0; i < b.N; i++ {
-		r := eval.NewRunner(h.Runner.Family, 123)
+		r := eval.NewRunner(h.Runner.Backend, 123)
 		r.Workers = workers
 		hh := &harness.Harness{Runner: r, Opts: h.Opts, Seed: 123}
 		out = hh.TableIII()
@@ -432,7 +439,7 @@ func benchEvaluateBatch(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := eval.NewRunner(h.Runner.Family, 123)
+		r := eval.NewRunner(h.Runner.Backend, 123)
 		r.Workers = workers
 		if len(r.EvaluateBatch(qs)) != len(qs) {
 			b.Fatal("batch result length mismatch")

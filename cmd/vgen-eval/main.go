@@ -4,12 +4,19 @@
 // Usage:
 //
 //	vgen-eval [-seed N] [-n N] [-quick] [-workers N] [-map-sampler]
+//	          [-backend NAME] [-record FILE] [-replay FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //	          [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|list]
 //
 // -quick restricts the sweep to t=0.1 and small n, which preserves the
 // best-temperature table values (best is t=0.1 by construction and in the
 // paper) while running in seconds.
+//
+// -backend selects the generation backend by registered name (family,
+// mutant, replay — `-backend list` prints them). -record captures every
+// produced sample to a JSONL file; -replay serves a recording back
+// through the replay backend, reproducing the recorded sweep's statistics
+// exactly (giving -replay alone implies -backend replay).
 //
 // -cpuprofile/-memprofile capture pprof profiles from the real binary
 // under real sweep traffic, so hot spots can be read off production-shaped
@@ -36,6 +43,9 @@ func main() {
 	corpusFiles := flag.Int("corpus-files", 0, "synthetic corpus size (0 = default)")
 	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	mapSampler := flag.Bool("map-sampler", false, "sample from the map-backed n-gram baseline instead of the frozen tables (identical output, slower)")
+	backend := flag.String("backend", "family", "generation backend by name ('list' prints the registry)")
+	record := flag.String("record", "", "capture every produced sample to this JSONL file")
+	replay := flag.String("replay", "", "JSONL recording served by the replay backend (implies -backend replay)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -45,6 +55,23 @@ func main() {
 		sweep.Temperatures = []float64{0.1}
 		if *n > 6 {
 			sweep.N = 6
+		}
+	}
+
+	if *backend == "list" {
+		for _, name := range core.Backends() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *replay != "" {
+		switch *backend {
+		case "family": // default value: -replay alone implies the replay backend
+			*backend = "replay"
+		case "replay":
+		default:
+			fmt.Fprintf(os.Stderr, "-replay conflicts with -backend %s (the recording would be ignored)\n", *backend)
+			os.Exit(2)
 		}
 	}
 
@@ -80,10 +107,16 @@ func main() {
 		}
 	}
 
-	fw := core.New(core.Config{
+	fw, err := core.New(core.Config{
 		Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep,
 		Workers: *workers, MapSampler: *mapSampler,
+		Backend: *backend, Record: *record, Replay: *replay,
 	})
+	if err != nil {
+		stopCPU()
+		fmt.Fprintf(os.Stderr, "vgen-eval: %v\n", err)
+		os.Exit(1)
+	}
 	h := fw.Harness
 
 	run := func(name string, f func() string) {
@@ -109,6 +142,11 @@ func main() {
 	// Finish the CPU profile before anything that can exit, so a
 	// memprofile failure never leaves a truncated cpuprofile behind.
 	stopCPU()
+
+	if err := fw.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "vgen-eval: record: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

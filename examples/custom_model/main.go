@@ -1,32 +1,36 @@
-// Bring-your-own-model: evaluate an arbitrary completion source on the
-// benchmark. This is the downstream-adoption path: plug any code
-// generator (a real LLM API, a template engine, a human) into the exact
-// compile + functional pipeline the paper uses and read off
-// Pass@(scenario·n) and the unbiased pass@k.
+// Bring-your-own-backend: plug an arbitrary completion source into the
+// evaluation stack as a gen.Backend. This is the downstream-adoption
+// path: implement three methods, register under a name, and the full
+// engine — worker pool, outcome cache, sweeps, pass@k — runs your model
+// exactly as it runs the paper's line-up. The demo also records one
+// backend's samples to JSONL and replays them, showing the transcript
+// path real LLM evaluations use.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
 	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/model"
 	"repro/internal/problems"
 )
 
-// CompletionSource is all a model needs to implement.
-type CompletionSource interface {
-	Name() string
-	Complete(p *problems.Problem, level problems.Level, i int) string
+// templateBackend is a toy "model": it answers every problem with a
+// continuous-assignment template, so it solves wires and gates but
+// nothing sequential. One struct, three methods — that is the whole
+// integration surface.
+type templateBackend struct{}
+
+func (templateBackend) Describe() string { return "assign-template-v0" }
+
+func (templateBackend) Variants() []gen.Key {
+	return []gen.Key{{Model: "assign-template", Variant: gen.VariantPT}}
 }
 
-// templateModel is a toy "model": it answers every problem with a
-// continuous-assignment template, so it solves wires and gates but
-// nothing sequential.
-type templateModel struct{}
-
-func (templateModel) Name() string { return "assign-template-v0" }
-
-func (templateModel) Complete(p *problems.Problem, level problems.Level, i int) string {
+func (templateBackend) Complete(key gen.Key, p *problems.Problem, level problems.Level, temperature float64, sampleIdx int, baseSeed int64) (gen.Sample, bool) {
 	prompt := p.Prompt(level)
 	// look only at the module header, not the prose comments
 	if i := strings.Index(prompt, "module "); i >= 0 {
@@ -48,49 +52,98 @@ func (templateModel) Complete(p *problems.Problem, level problems.Level, i int) 
 		}
 	}
 	if out == "" || in == "" {
-		return "  // no idea\nendmodule\n"
+		return gen.Sample{Completion: "  // no idea\nendmodule\n", Mechanism: "give-up"}, true
 	}
-	return fmt.Sprintf("  assign %s = %s;\nendmodule\n", out, in)
+	return gen.Sample{
+		Completion: fmt.Sprintf("  assign %s = %s;\nendmodule\n", out, in),
+		Mechanism:  "template",
+	}, true
 }
 
-// cheatModel answers with the reference solution: an upper bound.
-type cheatModel struct{}
+// oracleBackend answers with the reference solution: an upper bound.
+type oracleBackend struct{}
 
-func (cheatModel) Name() string { return "oracle" }
-func (cheatModel) Complete(p *problems.Problem, level problems.Level, i int) string {
-	return p.RefBody
+func (oracleBackend) Describe() string { return "oracle" }
+func (oracleBackend) Variants() []gen.Key {
+	return []gen.Key{{Model: "oracle", Variant: gen.VariantPT}}
+}
+func (oracleBackend) Complete(key gen.Key, p *problems.Problem, level problems.Level, temperature float64, sampleIdx int, baseSeed int64) (gen.Sample, bool) {
+	return gen.Sample{Completion: p.RefBody, Mechanism: "reference"}, true
+}
+
+func init() {
+	// Registration makes the backends reachable by name — e.g. a tool's
+	// -backend flag — without the tool importing this package's types.
+	gen.Register("assign-template", func(gen.Options) (gen.Backend, error) { return templateBackend{}, nil })
+	gen.Register("oracle", func(gen.Options) (gen.Backend, error) { return oracleBackend{}, nil })
+}
+
+// score sweeps one backend over the whole benchmark through the real
+// parallel evaluation engine and prints its scorecard.
+func score(b gen.Backend) {
+	r := eval.NewRunner(b, 1)
+	id, v := queryIdentity(b.Variants()[0])
+	var qs []eval.Query
+	for _, p := range problems.All() {
+		qs = append(qs, eval.Query{
+			Model: id, Variant: v,
+			Problem: p, Level: problems.LevelMedium, Temperature: 0.1, N: 1,
+		})
+	}
+	st := eval.CellStats{}
+	perDifficulty := map[problems.Difficulty]*eval.CellStats{}
+	for _, d := range problems.Difficulties {
+		perDifficulty[d] = &eval.CellStats{}
+	}
+	for qi, cell := range r.EvaluateBatch(qs) {
+		st.Add(cell)
+		perDifficulty[qs[qi].Problem.Difficulty].Add(cell)
+	}
+	fmt.Printf("\n%s:\n", b.Describe())
+	fmt.Printf("  compile rate:    %.2f\n", st.CompileRate())
+	fmt.Printf("  functional rate: %.2f\n", st.PassRate())
+	fmt.Printf("  pass@1 estimate: %.2f\n", eval.PassAtKFromCell(st, 1))
+	for _, d := range problems.Difficulties {
+		fmt.Printf("  %-13s pass %.2f\n", d.String()+":", perDifficulty[d].PassRate())
+	}
 }
 
 func main() {
-	fmt.Println("Custom completion sources on the VGen benchmark")
-	fmt.Println("===============================================")
-	for _, src := range []CompletionSource{templateModel{}, cheatModel{}} {
-		st := eval.CellStats{}
-		perProblem := map[problems.Difficulty]*eval.CellStats{}
-		for _, d := range problems.Difficulties {
-			perProblem[d] = &eval.CellStats{}
+	fmt.Println("Custom generation backends on the VGen benchmark")
+	fmt.Println("================================================")
+	fmt.Println("registered backends:", gen.Names())
+
+	for _, name := range []string{"assign-template", "oracle"} {
+		b, err := gen.New(name, gen.Options{})
+		if err != nil {
+			panic(err)
 		}
-		const n = 1
-		for _, p := range problems.All() {
-			for i := 0; i < n; i++ {
-				o := eval.Evaluate(p, problems.LevelMedium, src.Complete(p, problems.LevelMedium, i))
-				cell := eval.CellStats{Samples: 1}
-				if o.Compiles {
-					cell.Compiled = 1
-				}
-				if o.Passes {
-					cell.Passed = 1
-				}
-				st.Add(cell)
-				perProblem[p.Difficulty].Add(cell)
-			}
-		}
-		fmt.Printf("\n%s:\n", src.Name())
-		fmt.Printf("  compile rate:    %.2f\n", st.CompileRate())
-		fmt.Printf("  functional rate: %.2f\n", st.PassRate())
-		fmt.Printf("  pass@1 estimate: %.2f\n", eval.PassAtKFromCell(st, 1))
-		for _, d := range problems.Difficulties {
-			fmt.Printf("  %-13s pass %.2f\n", d.String()+":", perProblem[d].PassRate())
-		}
+		score(b)
 	}
+
+	// Record the oracle's sweep to JSONL, then replay the transcript as a
+	// backend of its own — the same mechanism that lets the harness score
+	// completions captured from a real LLM.
+	var buf bytes.Buffer
+	oracle, _ := gen.New("oracle", gen.Options{})
+	rec := gen.NewRecorder(oracle, &buf)
+	score(rec)
+	replayed, err := gen.NewReplay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nrecorded %d samples; replaying the transcript:\n", replayed.Len())
+	score(replayed)
+	firstLine, _, _ := strings.Cut(buf.String(), "\n")
+	fmt.Printf("\nfirst JSONL record: %.110s...\n", firstLine)
+}
+
+// queryIdentity maps a backend key onto the typed query coordinates the
+// engine hashes into its sample seeds.
+func queryIdentity(k gen.Key) (model.ID, model.Variant) {
+	v, ok := gen.ParseVariant(k.Variant)
+	if !ok {
+		panic("unknown variant string " + k.Variant)
+	}
+	return model.ID(k.Model), v
 }

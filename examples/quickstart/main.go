@@ -16,12 +16,16 @@ func main() {
 	fmt.Println("VGen-Go quickstart")
 	fmt.Println("==================")
 
-	// 1. Build the framework: corpus pipeline + tokenizer + model family.
-	fw := core.New(core.Config{
+	// 1. Build the framework: corpus pipeline + tokenizer + model family
+	//    (the default "family" generation backend).
+	fw, err := core.New(core.Config{
 		Seed:        42,
 		CorpusFiles: 80, // small synthetic corpus for a fast demo
 		Sweep:       eval.SweepOptions{N: 10, Temperatures: []float64{0.1}},
 	})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("fine-tuning corpus: %d curated documents\n\n", fw.Family.CorpusDocs())
 
 	// 2. Pick a problem and show its prompt.

@@ -15,11 +15,14 @@ func main() {
 	fmt.Println("Pass@(scenario*n) vs temperature (paper Fig. 6, left)")
 	fmt.Println("=====================================================")
 
-	fw := core.New(core.Config{
+	fw, err := core.New(core.Config{
 		Seed:        9,
 		CorpusFiles: 60,
 		Sweep:       eval.SweepOptions{N: 6},
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	for _, mv := range []eval.ModelVariant{
 		{Model: model.CodeGen16B, Variant: model.FineTuned},

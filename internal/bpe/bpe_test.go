@@ -1,6 +1,7 @@
 package bpe
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -95,5 +96,46 @@ func TestTokenLookup(t *testing.T) {
 	}
 	if s, ok := tok.Token(65); !ok || s != "A" {
 		t.Errorf("Token(65) = %q, %v", s, ok)
+	}
+}
+
+// TestEncodeMatchesReferenceOnRandomCorpora trains tokenizers on
+// randomized corpora (heavy repetition, tiny alphabets — the regime
+// where merge interactions are densest) and checks the collapsed
+// pair-merge loop in Encode against the one-occurrence-per-iteration
+// reference on random probe words. Folded in from the PR 3 review
+// sweep: the fixed-corpus and fuzz tests above probe many *texts* but
+// only a handful of trained *tokenizers*; this drives the equivalence
+// across many merge tables.
+func TestEncodeMatchesReferenceOnRandomCorpora(t *testing.T) {
+	letters := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(1))
+	randWord := func() string {
+		n := 1 + rng.Intn(6)
+		w := ""
+		for i := 0; i < n; i++ {
+			w += letters[rng.Intn(len(letters))]
+		}
+		return w
+	}
+	for trial := 0; trial < 400; trial++ {
+		doc := ""
+		for i, nw := 0, 2+rng.Intn(8); i < nw; i++ {
+			rep := 1 + rng.Intn(4)
+			w := randWord()
+			for r := 0; r < rep; r++ {
+				doc += w + " "
+			}
+		}
+		tok := Train([]string{doc}, 256+2+rng.Intn(12))
+		for probe := 0; probe < 12; probe++ {
+			w := randWord() + randWord()
+			got := tok.Encode(w)
+			want := tok.encodeReference(w)
+			if !equalIDs(got, want) {
+				t.Fatalf("trial %d: corpus=%q merges=%d word=%q got=%v want=%v",
+					trial, doc, tok.NumMerges(), w, got, want)
+			}
+		}
 	}
 }

@@ -1,20 +1,25 @@
 // Package core is the top-level facade of the VGen-Go evaluation
 // framework — the paper's primary contribution assembled as one API. It
-// wires the corpus pipeline, the simulated-LLM family, the 17-problem
-// benchmark, the compile/simulate pipeline, and the table/figure harness
-// behind a single entry point, so tools and examples need one import.
+// wires the corpus pipeline, the generation-backend layer, the
+// 17-problem benchmark, the compile/simulate pipeline, and the
+// table/figure harness behind a single entry point, so tools and
+// examples need one import.
 package core
 
 import (
+	"bufio"
 	"fmt"
+	"os"
 
 	"repro/internal/eval"
+	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/problems"
 )
 
-// Config selects the framework scale and determinism seed.
+// Config selects the framework scale, determinism seed, and generation
+// backend.
 type Config struct {
 	Seed        int64
 	CorpusFiles int              // synthetic GitHub corpus size; 0 = default
@@ -22,37 +27,95 @@ type Config struct {
 	Sweep       eval.SweepOptions
 	Workers     int  // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
 	MapSampler  bool // keep n-gram LMs on the map-backed baseline sampler
+
+	// Backend selects the generation backend by registered name (see
+	// gen.Names()); "" means "family", the simulated line-up.
+	Backend string
+
+	// Record captures every produced sample to this JSONL file; the
+	// resulting recording is what the replay backend serves. Close the
+	// framework to flush it.
+	Record string
+
+	// Replay is the JSONL recording served by the replay backend.
+	Replay string
 }
 
 // Framework is a fully wired evaluation stack.
 type Framework struct {
-	Family  *model.Family
+	Backend gen.Backend
 	Runner  *eval.Runner
 	Harness *harness.Harness
+
+	// Family is the simulated-model substrate when the backend is the
+	// family line-up (possibly wrapped by a recorder); nil otherwise.
+	Family *model.Family
+
 	cfg     Config
+	recFile *os.File
+	recBuf  *bufio.Writer
+	rec     *gen.Recorder
 }
 
-// New builds the framework: runs the corpus pipeline, trains the
-// tokenizer, and prepares the model family and harness.
-func New(cfg Config) *Framework {
-	fam := model.NewFamily(model.Config{
-		Seed:        cfg.Seed,
-		CorpusFiles: cfg.CorpusFiles,
-		Corpus:      cfg.Corpus,
-		MapSampler:  cfg.MapSampler,
-	})
-	runner := eval.NewRunner(fam, cfg.Seed)
-	runner.Workers = cfg.Workers
-	return &Framework{
-		Family: fam,
-		Runner: runner,
-		Harness: &harness.Harness{
-			Runner: runner,
-			Opts:   cfg.Sweep,
-			Seed:   cfg.Seed,
-		},
-		cfg: cfg,
+// New builds the framework: constructs the selected backend (for the
+// family backend that means running the corpus pipeline and training the
+// tokenizer), optionally wraps it in a recorder, and wires the runner and
+// harness around it.
+func New(cfg Config) (*Framework, error) {
+	name := cfg.Backend
+	if name == "" {
+		name = "family"
 	}
+	b, err := gen.New(name, gen.Options{
+		Family: model.Config{
+			Seed:        cfg.Seed,
+			CorpusFiles: cfg.CorpusFiles,
+			Corpus:      cfg.Corpus,
+			MapSampler:  cfg.MapSampler,
+		},
+		ReplayPath: cfg.Replay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fw := &Framework{Backend: b, cfg: cfg}
+	if fb, ok := b.(*gen.FamilyBackend); ok {
+		fw.Family = fb.Family()
+	}
+	if cfg.Record != "" {
+		f, err := os.Create(cfg.Record)
+		if err != nil {
+			return nil, fmt.Errorf("core: record: %w", err)
+		}
+		fw.recFile = f
+		// buffer the sink: the recorder writes one JSONL line per sample
+		// under its mutex, on the worker pool's hot path
+		fw.recBuf = bufio.NewWriterSize(f, 1<<20)
+		fw.rec = gen.NewRecorder(b, fw.recBuf)
+		fw.Backend = fw.rec
+	}
+	runner := eval.NewRunner(fw.Backend, cfg.Seed)
+	runner.Workers = cfg.Workers
+	fw.Runner = runner
+	fw.Harness = &harness.Harness{Runner: runner, Opts: cfg.Sweep, Seed: cfg.Seed}
+	return fw, nil
+}
+
+// Close flushes and closes the recording sink, if any, and reports the
+// first recording error. Safe to call on frameworks that record nothing.
+func (f *Framework) Close() error {
+	if f.recFile == nil {
+		return nil
+	}
+	err := f.rec.Err()
+	if ferr := f.recBuf.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.recFile.Close(); err == nil {
+		err = cerr
+	}
+	f.recFile = nil
+	return err
 }
 
 // Problems returns the benchmark problem set (Table II).
@@ -60,6 +123,9 @@ func Problems() []*problems.Problem { return problems.All() }
 
 // Models returns the evaluated model line-up (Table I).
 func Models() []model.ID { return model.IDs }
+
+// Backends returns the registered generation-backend names.
+func Backends() []string { return gen.Names() }
 
 // EvaluateCompletion runs the compile + functional pipeline on an
 // arbitrary completion for one problem and prompt level. This is the
@@ -72,18 +138,22 @@ func (f *Framework) EvaluateCompletion(problemNumber int, level problems.Level, 
 	return eval.Evaluate(p, level, completion), nil
 }
 
-// SampleAndEvaluate queries a simulated model for n completions on one
-// problem and evaluates each, returning the pooled cell statistics.
+// SampleAndEvaluate queries the backend for n completions on one problem
+// and evaluates each, returning the pooled cell statistics.
 func (f *Framework) SampleAndEvaluate(id model.ID, v model.Variant, problemNumber int, level problems.Level, temperature float64, n int) (eval.CellStats, error) {
 	p := problems.ByNumber(problemNumber)
 	if p == nil {
 		return eval.CellStats{}, fmt.Errorf("core: no problem %d", problemNumber)
 	}
-	if _, ok := f.Family.Generator(id, v); !ok {
-		return eval.CellStats{}, fmt.Errorf("core: no %s variant of %s", v, id)
+	if n <= 0 {
+		return eval.CellStats{}, fmt.Errorf("core: n must be positive, got %d", n)
 	}
-	return f.Runner.Run(eval.Query{
+	st := f.Runner.Run(eval.Query{
 		Model: id, Variant: v, Problem: p,
 		Level: level, Temperature: temperature, N: n,
-	}), nil
+	})
+	if st.Samples == 0 {
+		return eval.CellStats{}, fmt.Errorf("core: backend serves no samples for %s/%s", id, v)
+	}
+	return st, nil
 }

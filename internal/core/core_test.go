@@ -1,6 +1,7 @@
 package core
 
 import (
+	"path/filepath"
 	"testing"
 
 	"repro/internal/eval"
@@ -10,11 +11,15 @@ import (
 
 func testFW(t *testing.T) *Framework {
 	t.Helper()
-	return New(Config{
+	fw, err := New(Config{
 		Seed:        3,
 		CorpusFiles: 50,
 		Sweep:       eval.SweepOptions{N: 3, Temperatures: []float64{0.1}},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
 }
 
 func TestFrameworkWiring(t *testing.T) {
@@ -63,5 +68,55 @@ func TestSampleAndEvaluateAPI(t *testing.T) {
 	}
 	if _, err := f.SampleAndEvaluate(model.Codex, model.Pretrained, 0, problems.LevelLow, 0.1, 1); err == nil {
 		t.Fatal("problem 0 accepted")
+	}
+}
+
+// TestBackendSelectionAndRecordReplay exercises the facade's backend
+// plumbing: select the mutant backend by name, record its sweep, then
+// mount the recording through the replay backend and reproduce the
+// stats exactly.
+func TestBackendSelectionAndRecordReplay(t *testing.T) {
+	rec := filepath.Join(t.TempDir(), "mutant.jsonl")
+	fw, err := New(Config{Seed: 5, Backend: "mutant", Record: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Family != nil {
+		t.Error("non-family backend should leave Family nil")
+	}
+	want, err := fw.SampleAndEvaluate(model.CodeGen16B, model.FineTuned, 6, problems.LevelMedium, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := New(Config{Seed: 5, Backend: "replay", Replay: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rp.SampleAndEvaluate(model.CodeGen16B, model.FineTuned, 6, problems.LevelMedium, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("replayed stats %+v != recorded %+v", got, want)
+	}
+
+	if _, err := New(Config{Backend: "replay"}); err == nil {
+		t.Error("replay without a recording should fail construction")
+	}
+	if _, err := New(Config{Backend: "no-such"}); err == nil {
+		t.Error("unknown backend name should fail construction")
+	}
+	found := false
+	for _, name := range Backends() {
+		if name == "mutant" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Backends() = %v, missing mutant", Backends())
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/problems"
 	"repro/internal/sim"
@@ -178,6 +179,11 @@ func evaluateSim(p *problems.Problem, level problems.Level, completion string, s
 const numShards = 64
 
 type cacheKey struct {
+	// backend is the Runner's Backend.Describe() tag. Within one Runner it
+	// is constant — the tag is forward-looking, keeping entries unambiguous
+	// if the shards ever outlive a single Runner (shared outcome caches are
+	// where the ROADMAP's sharded-runner work lands).
+	backend    string
 	problem    int
 	level      problems.Level
 	completion string
@@ -218,35 +224,45 @@ func fnvUint(h, u uint64) uint64 {
 }
 
 func (k *cacheKey) shard() uint64 {
-	h := fnvUint(fnvOffset, uint64(k.problem))
+	h := fnvString(fnvOffset, k.backend)
+	h = fnvUint(h, uint64(k.problem))
 	h = fnvUint(h, uint64(k.level))
 	h = fnvString(h, k.completion)
 	return h % numShards
 }
 
-// Runner executes queries against a model family with a sharded outcome
-// cache (bank-sourced completions repeat heavily across cells, so most
-// evaluations are cache hits; sharding keeps the hit path contention-free
-// under the worker pool).
+// Runner executes queries against a generation backend with a sharded
+// outcome cache (backends repeat completions heavily across cells, so
+// most evaluations are cache hits; sharding keeps the hit path
+// contention-free under the worker pool). The backend is any gen.Backend
+// — the simulated family, a replayed recording, a mutant generator, or a
+// third-party source — selected by the layer above.
 type Runner struct {
-	Family *model.Family
-	Seed   int64
+	Backend gen.Backend
+	Seed    int64
 
 	// Workers sets the evaluation pool width: 1 means serial, 0 (or
 	// negative) means GOMAXPROCS. Results are byte-identical at every
 	// width; see DESIGN.md, "Determinism under parallelism".
 	Workers int
 
+	tag    string // Backend.Describe(), captured once for cache keys
 	shards [numShards]cacheShard
 }
 
-// NewRunner wraps a family for evaluation.
-func NewRunner(f *model.Family, seed int64) *Runner {
-	r := &Runner{Family: f, Seed: seed}
+// NewRunner wraps a generation backend for evaluation.
+func NewRunner(b gen.Backend, seed int64) *Runner {
+	r := &Runner{Backend: b, Seed: seed, tag: b.Describe()}
 	for i := range r.shards {
 		r.shards[i].m = map[cacheKey]*outcomeSlot{}
 	}
 	return r
+}
+
+// NewFamilyRunner wraps a simulated model family — the common case — for
+// evaluation.
+func NewFamilyRunner(f *model.Family, seed int64) *Runner {
+	return NewRunner(gen.NewFamilyBackend(f), seed)
 }
 
 func (r *Runner) workers() int {
@@ -257,7 +273,7 @@ func (r *Runner) workers() int {
 }
 
 func (r *Runner) evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
-	key := cacheKey{problem: p.Number, level: level, completion: completion}
+	key := cacheKey{backend: r.tag, problem: p.Number, level: level, completion: completion}
 	sh := &r.shards[key.shard()]
 	sh.mu.Lock()
 	s, ok := sh.m[key]
@@ -335,10 +351,13 @@ func (c *CellStats) Add(o CellStats) {
 }
 
 // sampleResult is one work item's outcome, written into a slot owned by
-// its (query, sample) coordinates so reduction order is fixed.
+// its (query, sample) coordinates so reduction order is fixed. ok mirrors
+// the backend's verdict: a slot the backend declined (no such model line,
+// sample missing from a recording) stays out of the stats entirely.
 type sampleResult struct {
 	outcome Outcome
 	latency float64
+	ok      bool
 }
 
 // Run executes one query: n completions sampled and evaluated.
@@ -352,16 +371,12 @@ func (r *Runner) Run(q Query) CellStats {
 // serial run, including float latency sums.
 func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 	type item struct{ qi, si int }
-	gens := make([]*model.Generator, len(qs))
+	keys := make([]gen.Key, len(qs))
 	bases := make([]int64, len(qs))
 	results := make([][]sampleResult, len(qs))
 	var items []item
 	for qi, q := range qs {
-		gen, ok := r.Family.Generator(q.Model, q.Variant)
-		if !ok {
-			continue // results[qi] stays nil -> zero CellStats
-		}
-		gens[qi] = gen
+		keys[qi] = gen.Key{Model: string(q.Model), Variant: q.Variant.String()}
 		bases[qi] = r.querySeed(q)
 		results[qi] = make([]sampleResult, q.N)
 		for si := 0; si < q.N; si++ {
@@ -371,9 +386,12 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 
 	run := func(it item) {
 		q := qs[it.qi]
-		s := gens[it.qi].CompleteAt(q.Problem, q.Level, q.Temperature, it.si, bases[it.qi])
+		s, ok := r.Backend.Complete(keys[it.qi], q.Problem, q.Level, q.Temperature, it.si, bases[it.qi])
+		if !ok {
+			return // slot stays zero with ok=false -> excluded from stats
+		}
 		o := r.evaluate(q.Problem, q.Level, s.Completion)
-		results[it.qi][it.si] = sampleResult{outcome: o, latency: s.Latency}
+		results[it.qi][it.si] = sampleResult{outcome: o, latency: s.Latency, ok: true}
 	}
 
 	if w := r.workers(); w <= 1 || len(items) <= 1 {
@@ -406,6 +424,9 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 	out := make([]CellStats, len(qs))
 	for qi := range qs {
 		for _, sr := range results[qi] {
+			if !sr.ok {
+				continue
+			}
 			out[qi].Samples++
 			if sr.outcome.Compiles {
 				out[qi].Compiled++

@@ -11,7 +11,7 @@ import (
 func testRunner(t *testing.T) *Runner {
 	t.Helper()
 	f := model.NewFamily(model.Config{Seed: 17, CorpusFiles: 60, VocabSize: 300})
-	return NewRunner(f, 99)
+	return NewFamilyRunner(f, 99)
 }
 
 func TestTruncate(t *testing.T) {

@@ -35,7 +35,7 @@ func TestFrozenSweepMatchesMapSweep(t *testing.T) {
 	var results [][]CellStats
 	for _, fam := range []*model.Family{frozen, mapped} {
 		for _, workers := range []int{1, 8} {
-			r := NewRunner(fam, 77)
+			r := NewFamilyRunner(fam, 77)
 			r.Workers = workers
 			results = append(results, r.EvaluateBatch(qs))
 		}

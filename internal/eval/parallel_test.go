@@ -16,9 +16,9 @@ import (
 // digits.
 func TestParallelMatchesSerial(t *testing.T) {
 	f := model.NewFamily(model.Config{Seed: 17, CorpusFiles: 60, VocabSize: 300})
-	serial := NewRunner(f, 99)
+	serial := NewFamilyRunner(f, 99)
 	serial.Workers = 1
-	parallel := NewRunner(f, 99)
+	parallel := NewFamilyRunner(f, 99)
 	parallel.Workers = 8
 
 	opts := SweepOptions{N: 5, Temperatures: []float64{0.1, 0.5}}
@@ -67,7 +67,7 @@ func TestSamplePrefixProperty(t *testing.T) {
 // the per-problem bank once-init, and the shared testbench ASTs.
 func TestConcurrentRunnerStress(t *testing.T) {
 	f := model.NewFamily(model.Config{Seed: 23, CorpusFiles: 60, VocabSize: 300})
-	r := NewRunner(f, 7)
+	r := NewFamilyRunner(f, 7)
 	r.Workers = 4
 
 	mvs := []ModelVariant{

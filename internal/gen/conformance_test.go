@@ -1,0 +1,234 @@
+package gen_test
+
+// The backend conformance suite: every backend in the registry must
+// honor the layer's contract — samples are pure functions of their
+// coordinates, sweeps are byte-identical at any worker-pool width, and
+// Complete is safe to call from every worker at once (the concurrency
+// test is meaningful under `go test -race`, which the Makefile race
+// target and CI run).
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+const confSeed = 55
+
+// confVariant maps a backend key onto typed query coordinates.
+func confVariant(t *testing.T, k gen.Key) (model.ID, model.Variant) {
+	t.Helper()
+	v, ok := gen.ParseVariant(k.Variant)
+	if !ok {
+		t.Fatalf("unknown variant string %q", k.Variant)
+	}
+	return model.ID(k.Model), v
+}
+
+// confQueries is the probe sweep: two problems, two levels, two
+// temperatures, three samples each, on the backend's first variant.
+func confQueries(t *testing.T, b gen.Backend) []eval.Query {
+	id, v := confVariant(t, b.Variants()[0])
+	var qs []eval.Query
+	for _, pn := range []int{1, 6} {
+		for _, l := range []problems.Level{problems.LevelLow, problems.LevelMedium} {
+			for _, temp := range []float64{0.1, 1.0} {
+				qs = append(qs, eval.Query{
+					Model: id, Variant: v,
+					Problem: problems.ByNumber(pn), Level: l, Temperature: temp, N: 3,
+				})
+			}
+		}
+	}
+	return qs
+}
+
+// recordForReplay produces the JSONL recording the replay backend serves
+// during conformance: the mutant backend (cheap: no corpus, no training)
+// swept over the probe queries under the conformance runner seed.
+func recordForReplay(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "conformance.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := gen.New("mutant", gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := gen.NewRecorder(src, f)
+	r := eval.NewRunner(rec, confSeed)
+	r.Workers = 4
+	r.EvaluateBatch(confQueries(t, src))
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// backendsUnderTest constructs every registered backend. A backend this
+// helper does not know how to parameterize fails the suite loudly rather
+// than being skipped silently.
+func backendsUnderTest(t *testing.T) map[string]gen.Backend {
+	t.Helper()
+	out := map[string]gen.Backend{}
+	for _, name := range gen.Names() {
+		opts := gen.Options{Family: model.Config{Seed: 11, CorpusFiles: 25}}
+		if name == "replay" {
+			opts.ReplayPath = recordForReplay(t)
+		}
+		b, err := gen.New(name, opts)
+		if err != nil {
+			t.Fatalf("backend %q failed to construct: %v", name, err)
+		}
+		out[name] = b
+	}
+	return out
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := gen.Names()
+	want := map[string]bool{"family": false, "mutant": false, "replay": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("registry missing backend %q (have %v)", n, names)
+		}
+	}
+	if _, err := gen.New("no-such-backend", gen.Options{}); err == nil {
+		t.Error("unknown backend name should error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	gen.Register("family", func(gen.Options) (gen.Backend, error) { return nil, nil })
+}
+
+func TestConformanceVariantsNonEmpty(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		if len(b.Variants()) == 0 {
+			t.Errorf("%s: Variants() empty", name)
+		}
+		if b.Describe() == "" {
+			t.Errorf("%s: Describe() empty", name)
+		}
+	}
+}
+
+// TestConformanceDeterministicSamples pins the purity contract: Complete
+// at fixed coordinates returns the identical Sample every time, for every
+// registered backend.
+func TestConformanceDeterministicSamples(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		key := b.Variants()[0]
+		for _, pn := range []int{1, 6} {
+			p := problems.ByNumber(pn)
+			for _, temp := range []float64{0.1, 1.0} {
+				for idx := 0; idx < 3; idx++ {
+					s1, ok1 := b.Complete(key, p, problems.LevelLow, temp, idx, 777)
+					s2, ok2 := b.Complete(key, p, problems.LevelLow, temp, idx, 777)
+					if ok1 != ok2 || s1 != s2 {
+						t.Fatalf("%s: sample (p%d t%.1f i%d) not deterministic:\n%+v ok=%v\n%+v ok=%v",
+							name, pn, temp, idx, s1, ok1, s2, ok2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceWorkerWidthIdentity runs the probe sweep through the
+// real engine at pool widths 1 and 8 and requires bit-identical
+// CellStats (including float latency sums) from every backend.
+func TestConformanceWorkerWidthIdentity(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		qs := confQueries(t, b)
+		var base []eval.CellStats
+		for _, workers := range []int{1, 8} {
+			r := eval.NewRunner(b, confSeed)
+			r.Workers = workers
+			got := r.EvaluateBatch(qs)
+			if base == nil {
+				base = got
+				// the sweep must actually produce samples, or the identity
+				// check would pass vacuously on an all-empty backend
+				total := 0
+				for _, st := range got {
+					total += st.Samples
+				}
+				if total == 0 {
+					t.Fatalf("%s: probe sweep produced no samples", name)
+				}
+				continue
+			}
+			for qi := range qs {
+				if got[qi] != base[qi] {
+					t.Fatalf("%s: query %d diverges across widths: %+v != %+v",
+						name, qi, got[qi], base[qi])
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceConcurrentComplete hammers Complete from 8 goroutines
+// against precomputed expectations — the direct data-race probe for the
+// -race job.
+func TestConformanceConcurrentComplete(t *testing.T) {
+	for name, b := range backendsUnderTest(t) {
+		key := b.Variants()[0]
+		p := problems.ByNumber(6)
+		type coord struct {
+			idx  int
+			temp float64
+		}
+		var coords []coord
+		expect := map[coord]gen.Sample{}
+		for _, temp := range []float64{0.1, 1.0} {
+			for idx := 0; idx < 4; idx++ {
+				c := coord{idx: idx, temp: temp}
+				coords = append(coords, c)
+				if s, ok := b.Complete(key, p, problems.LevelLow, temp, idx, 777); ok {
+					expect[c] = s
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 3; rep++ {
+					for _, c := range coords {
+						s, ok := b.Complete(key, p, problems.LevelLow, c.temp, c.idx, 777)
+						want, wantOK := expect[c]
+						if ok != wantOK || (ok && s != want) {
+							t.Errorf("%s: concurrent sample drifted at %+v", name, c)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,14 @@
+package gen
+
+import "repro/internal/model"
+
+// Options parameterize backend construction through the registry. Each
+// backend reads the fields it needs and ignores the rest.
+type Options struct {
+	// Family configures the simulated-model substrate (corpus scale, seed,
+	// sampler choice) for the family backend.
+	Family model.Config
+
+	// ReplayPath is the JSONL recording served by the replay backend.
+	ReplayPath string
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/gen"
 	"repro/internal/lint"
 	"repro/internal/model"
 	"repro/internal/mutate"
@@ -23,7 +24,8 @@ import (
 )
 
 // Harness drives one evaluation configuration. The evaluation pool width
-// lives on the Runner (Runner.Workers).
+// lives on the Runner (Runner.Workers), and the completion source is
+// whatever gen.Backend the Runner wraps.
 type Harness struct {
 	Runner *eval.Runner
 	Opts   eval.SweepOptions
@@ -38,17 +40,42 @@ type Options struct {
 	Corpus      model.CorpusKind
 	Workers     int  // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
 	MapSampler  bool // keep n-gram LMs on the map-backed baseline sampler
+
+	// Backend selects the generation backend by registered name; "" means
+	// "family", the simulated line-up. Replay names the JSONL recording
+	// for the replay backend.
+	Backend string
+	Replay  string
 }
 
-// New builds a harness with a fresh model family.
-func New(o Options) *Harness {
-	fam := model.NewFamily(model.Config{
-		Seed:        o.Seed,
-		CorpusFiles: o.CorpusFiles,
-		Corpus:      o.Corpus,
-		MapSampler:  o.MapSampler,
+// New builds a harness, selecting the generation backend by name. Only
+// backends with external inputs can fail to construct (replay with a
+// missing or malformed recording); the default family path always
+// succeeds.
+func New(o Options) (*Harness, error) {
+	name := o.Backend
+	if name == "" {
+		name = "family"
+	}
+	b, err := gen.New(name, gen.Options{
+		Family: model.Config{
+			Seed:        o.Seed,
+			CorpusFiles: o.CorpusFiles,
+			Corpus:      o.Corpus,
+			MapSampler:  o.MapSampler,
+		},
+		ReplayPath: o.Replay,
 	})
-	runner := eval.NewRunner(fam, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return FromBackend(b, o), nil
+}
+
+// FromBackend builds a harness over an already-constructed backend —
+// the hook for recorded, wrapped, or third-party sources.
+func FromBackend(b gen.Backend, o Options) *Harness {
+	runner := eval.NewRunner(b, o.Seed)
 	runner.Workers = o.Workers
 	return &Harness{Runner: runner, Opts: o.Sweep, Seed: o.Seed}
 }
@@ -273,10 +300,18 @@ func (h *Harness) HeadlineReport() string {
 }
 
 // Ablation reproduces the Section VI corpus ablation: 16B fine-tuned on
-// GitHub only vs GitHub plus textbooks.
+// GitHub only vs GitHub plus textbooks. It always builds family backends
+// — the ablation is about the fine-tuning corpus, whatever backend the
+// enclosing harness runs.
 func (h *Harness) Ablation() string {
-	ghOnly := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubOnly, Workers: h.Runner.Workers})
-	withBooks := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubPlusBooks, Workers: h.Runner.Workers})
+	ghOnly, err := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubOnly, Workers: h.Runner.Workers})
+	if err != nil {
+		return fmt.Sprintf("Corpus ablation unavailable: %v\n", err)
+	}
+	withBooks, err := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubPlusBooks, Workers: h.Runner.Workers})
+	if err != nil {
+		return fmt.Sprintf("Corpus ablation unavailable: %v\n", err)
+	}
 	mv := eval.ModelVariant{Model: model.CodeGen16B, Variant: model.FineTuned}
 	a := ghOnly.Runner.Aggregate(mv, h.Opts).PassRate()
 	b := withBooks.Runner.Aggregate(mv, h.Opts).PassRate()

@@ -10,11 +10,15 @@ import (
 // quick sweep settings keep the full-table tests fast
 func quickHarness(t *testing.T) *Harness {
 	t.Helper()
-	return New(Options{
+	h, err := New(Options{
 		Seed:        7,
 		CorpusFiles: 60,
 		Sweep:       eval.SweepOptions{N: 4, Temperatures: []float64{0.1}},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 func TestTableIStatic(t *testing.T) {
