@@ -7,7 +7,7 @@ DATE := $(shell date +%Y%m%d)
 # file, so bench-compare always has a baseline to diff against
 BENCHFILE := $(shell f=BENCH_$(DATE).json; i=2; while [ -e $$f ]; do f=BENCH_$(DATE).$$i.json; i=$$((i+1)); done; echo $$f)
 
-.PHONY: all build vet test race bench bench-compare clean
+.PHONY: all build vet test race bench bench-compare shard-check clean
 
 all: build test
 
@@ -37,6 +37,12 @@ bench:
 # benches (see cmd/vgen-benchcmp).
 bench-compare:
 	$(GO) run ./cmd/vgen-benchcmp
+
+# shard-check proves distributed sweeps: a 4-way sharded, serialized,
+# merged sweep must be byte-identical to the single-process run at all
+# five paper temperatures, for the family and replay backends.
+shard-check:
+	GO=$(GO) ./scripts/shard-check.sh
 
 clean:
 	rm -f BENCH_*.json

@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/bpe"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/ngram"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/vlog"
 	"repro/internal/vlog/elab"
 	"repro/internal/vnum"
+	"repro/internal/wire"
 )
 
 // shared harness: built once; the eval cache makes repeated table
@@ -449,3 +452,103 @@ func benchEvaluateBatch(b *testing.B, workers int) {
 
 func BenchmarkEvaluateBatchSerial(b *testing.B) { benchEvaluateBatch(b, 1) }
 func BenchmarkEvaluateBatch(b *testing.B)       { benchEvaluateBatch(b, 8) }
+
+// ---- backend-tagged sweep throughput (DESIGN.md Section 10) ----------------
+
+// sweepQueries is the fixed query set the backend-tagged throughput
+// benches fan out: every (problem, level) cell at one temperature.
+func sweepQueries() []eval.Query {
+	var qs []eval.Query
+	for _, p := range problems.All() {
+		for _, l := range problems.Levels {
+			qs = append(qs, eval.Query{
+				Model: model.CodeGen16B, Variant: model.FineTuned,
+				Problem: p, Level: l, Temperature: 0.5, N: 4,
+			})
+		}
+	}
+	return qs
+}
+
+// benchSweepBackend times one full sweep of sweepQueries through the
+// shared runner (warm outcome cache after the first iteration, like a
+// long-lived server): what remains is per-backend completion cost plus
+// engine overhead, the per-backend rows bench-compare tracks so backend
+// and shard/merge regressions are gated like hot-path ns/op.
+func benchSweepBackend(b *testing.B, backend gen.Backend) {
+	r := eval.NewRunner(backend, 123)
+	r.Workers = 8
+	qs := sweepQueries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.EvaluateBatch(qs)) != len(qs) {
+			b.Fatal("batch result length mismatch")
+		}
+	}
+}
+
+func BenchmarkSweepThroughput(b *testing.B) {
+	fam := benchHarness().Runner.Backend
+	b.Run("backend=family", func(b *testing.B) { benchSweepBackend(b, fam) })
+	b.Run("backend=mutant", func(b *testing.B) { benchSweepBackend(b, gen.NewMutant()) })
+	b.Run("backend=replay", func(b *testing.B) {
+		// record the family sweep in memory, then serve it back frozen
+		var buf bytes.Buffer
+		rec := eval.NewRunner(gen.NewRecorder(fam, &buf), 123)
+		rec.EvaluateBatch(sweepQueries())
+		rp, err := gen.NewReplay(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSweepBackend(b, rp)
+	})
+}
+
+// BenchmarkShardMerge times the cross-process tax of a distributed sweep:
+// decoding four wire shard files and merging them into one result set.
+// Pinned in bench-compare so serialization overhead regressions gate like
+// the evaluation hot paths.
+func BenchmarkShardMerge(b *testing.B) {
+	plan := eval.NewPlan()
+	for _, q := range sweepQueries() {
+		if err := plan.Add(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const shards = 4
+	files := make([][]byte, shards)
+	for i := 0; i < shards; i++ {
+		sub, err := plan.Shard(i, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs := eval.NewResultSet()
+		for j, c := range sub.Coords() {
+			rs.Put(c, eval.CellStats{Samples: c.N, Compiled: c.N, Passed: j % 2, SumLat: 1.25 * float64(j)})
+		}
+		var buf bytes.Buffer
+		m := wire.Meta{Backend: "bench", Seed: 123, Shard: i, Shards: shards}
+		if err := wire.WriteResults(&buf, m, rs); err != nil {
+			b.Fatal(err)
+		}
+		files[i] = buf.Bytes()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := make([]wire.Shard, shards)
+		for j, f := range files {
+			sh, err := wire.ReadResults(bytes.NewReader(f))
+			if err != nil {
+				b.Fatal(err)
+			}
+			in[j] = sh
+		}
+		merged, _, err := wire.Merge(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if merged.Len() != plan.Len() {
+			b.Fatal("merge dropped cells")
+		}
+	}
+}

@@ -36,6 +36,11 @@ var hotPathBenches = []string{
 	"BenchmarkFrozenSample",
 	"BenchmarkEncodeInto",
 	"BenchmarkParseReference",
+	// backend-tagged sweep throughput plus the shard decode+merge tax:
+	// distributed-sweep overhead regressions gate like the hot paths
+	"BenchmarkSweepThroughput/backend=family",
+	"BenchmarkSweepThroughput/backend=replay",
+	"BenchmarkShardMerge",
 }
 
 const regressionLimit = 0.10

@@ -1,22 +1,38 @@
 // Command vgen-eval runs the paper's evaluation sweeps and regenerates its
-// tables and figures.
+// tables and figures — in one process, or sharded across many.
 //
 // Usage:
 //
 //	vgen-eval [-seed N] [-n N] [-quick] [-workers N] [-map-sampler]
 //	          [-backend NAME] [-record FILE] [-replay FILE]
+//	          [-shards N -shard I -emit out.jsonl]
+//	          [-emit-plan plan.jsonl] [-from-plan plan.jsonl -emit out.jsonl]
+//	          [-merge a.jsonl,b.jsonl,...]
 //	          [-cpuprofile FILE] [-memprofile FILE]
-//	          [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|list]
+//	          [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|passk|problems|lint|list]
 //
 // -quick restricts the sweep to t=0.1 and small n, which preserves the
 // best-temperature table values (best is t=0.1 by construction and in the
 // paper) while running in seconds.
 //
 // -backend selects the generation backend by registered name (family,
-// mutant, replay — `-backend list` prints them). -record captures every
-// produced sample to a JSONL file; -replay serves a recording back
-// through the replay backend, reproducing the recorded sweep's statistics
-// exactly (giving -replay alone implies -backend replay).
+// mutant, replay — `-backend list` prints names with descriptions).
+// -record captures every produced sample to a JSONL file; -replay serves
+// a recording back through the replay backend, reproducing the recorded
+// sweep's statistics exactly (giving -replay alone implies -backend
+// replay).
+//
+// Distributed sweeps (see DESIGN.md, "Sharded sweep execution"): -shards
+// N -shard I -emit runs the I-th of N partitions of the selected
+// experiments' query plan and serializes its per-cell stats; -merge
+// combines the N result files and renders the tables byte-identically to
+// the monolithic run, with no backend construction at all. -emit-plan
+// writes the shard's serialized plan instead of executing it, and
+// -from-plan executes such a plan file (validating it addresses this
+// worker's backend and seed) — the coordinator/worker split for running
+// shards on machines that don't share flags. Only cell-based experiments
+// (table3, table4, fig6, fig7, headline, passk, problems) shard;
+// -experiment all selects exactly those in emit/merge modes.
 //
 // -cpuprofile/-memprofile capture pprof profiles from the real binary
 // under real sweep traffic, so hot spots can be read off production-shaped
@@ -29,11 +45,18 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/gen"
 	"repro/internal/harness"
 )
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vgen-eval: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "determinism seed for corpus, models and sampling")
@@ -46,6 +69,12 @@ func main() {
 	backend := flag.String("backend", "family", "generation backend by name ('list' prints the registry)")
 	record := flag.String("record", "", "capture every produced sample to this JSONL file")
 	replay := flag.String("replay", "", "JSONL recording served by the replay backend (implies -backend replay)")
+	shards := flag.Int("shards", 1, "total shard count of a distributed sweep")
+	shard := flag.Int("shard", 0, "this worker's shard index (0-based)")
+	emit := flag.String("emit", "", "run one shard and write its wire result file here (requires cell-based -experiment)")
+	emitPlan := flag.String("emit-plan", "", "write this shard's serialized query plan here instead of executing it")
+	fromPlan := flag.String("from-plan", "", "execute a serialized shard plan file (validates backend tag and seed; requires -emit)")
+	merge := flag.String("merge", "", "comma-separated shard result files to merge and render (no backend is built)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -59,8 +88,8 @@ func main() {
 	}
 
 	if *backend == "list" {
-		for _, name := range core.Backends() {
-			fmt.Println(name)
+		for _, info := range gen.List() {
+			fmt.Printf("%s\t%s\n", info.Name, info.Desc)
 		}
 		return
 	}
@@ -82,24 +111,82 @@ func main() {
 		return
 	}
 
-	switch *experiment {
-	case "all", "table1", "table2", "table3", "table4", "fig6", "fig7",
-		"headline", "ablation", "corpus", "gallery", "passk", "problems", "lint":
-	default:
+	if *experiment != "all" && !knownExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", *experiment)
 		os.Exit(2)
+	}
+
+	sharded := *emit != "" || *emitPlan != "" || *fromPlan != ""
+	if sharded && *merge != "" {
+		fmt.Fprintln(os.Stderr, "-merge runs coordinator-side; it conflicts with -emit/-emit-plan/-from-plan")
+		os.Exit(2)
+	}
+	if *fromPlan != "" && *emit == "" {
+		fmt.Fprintln(os.Stderr, "-from-plan needs -emit for the shard's result file")
+		os.Exit(2)
+	}
+	if *emitPlan != "" && *emit != "" {
+		fmt.Fprintln(os.Stderr, "-emit-plan writes the plan without executing it; it conflicts with -emit (run the plan later with -from-plan)")
+		os.Exit(2)
+	}
+	if *fromPlan != "" {
+		// The plan file's header defines the cell set and shard identity; a
+		// -shard/-shards/-experiment given alongside would be silently
+		// overridden — the same misconfiguration class as -shards without
+		// -emit, so reject it rather than let two workers compute one shard.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shard", "shards", "experiment":
+				fmt.Fprintf(os.Stderr, "-%s is defined by the plan file's header; drop it when using -from-plan\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	}
+	if (*shards != 1 || *shard != 0) && !sharded {
+		// Silently running the full sweep would make N workers each do N
+		// times the intended work with no error.
+		fmt.Fprintln(os.Stderr, "-shards/-shard select a partition to run; add -emit out.jsonl (or -emit-plan) to execute it")
+		os.Exit(2)
+	}
+	if sharded && *fromPlan == "" {
+		// Fail the non-cell case here, in milliseconds, not after core.New
+		// has built the corpus and trained the model family.
+		rejectNonCellShard(*experiment)
+	}
+
+	// Merge mode: combine shard results and render. No backend, corpus, or
+	// model is constructed — the tables regenerate from serialized stats.
+	if *merge != "" {
+		rejectNonCellMerge(*experiment) // before any file work
+		paths := strings.Split(*merge, ",")
+		h, rs, m, err := core.HarnessFromShards(paths, sweep)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "merged %d shards (backend %q, seed %d): %d cells\n",
+			m.Shards, m.Backend, m.Seed, rs.Len())
+		renderExperiments(h, *experiment, true)
+		if missing := rs.Missing(); len(missing) > 0 {
+			for i, c := range missing {
+				if i == 8 {
+					fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(missing)-8)
+					break
+				}
+				fmt.Fprintf(os.Stderr, "  missing cell %+v\n", c)
+			}
+			fail("merged shards do not cover %d cell(s) of the requested artifacts", len(missing))
+		}
+		return
 	}
 
 	stopCPU := func() {}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
+			fail("cpuprofile: %v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
+			fail("cpuprofile: %v", err)
 		}
 		stopCPU = func() {
 			pprof.StopCPUProfile()
@@ -114,51 +201,89 @@ func main() {
 	})
 	if err != nil {
 		stopCPU()
-		fmt.Fprintf(os.Stderr, "vgen-eval: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
-	h := fw.Harness
 
-	run := func(name string, f func() string) {
-		if *experiment != "all" && *experiment != name {
-			return
+	if sharded {
+		exps := []string{*experiment}
+		switch {
+		case *fromPlan != "":
+			err = fw.RunPlanFile(*fromPlan, *emit)
+		case *emitPlan != "":
+			err = fw.WriteShardPlan(*emitPlan, exps, *shard, *shards)
+		default:
+			err = fw.WriteShard(*emit, exps, *shard, *shards)
 		}
-		fmt.Println(f())
+		if err != nil {
+			stopCPU()
+			fail("%v", err)
+		}
+	} else {
+		renderExperiments(fw.Harness, *experiment, false)
 	}
-	run("table1", h.TableI)
-	run("table2", h.TableII)
-	run("table3", h.TableIII)
-	run("table4", h.TableIV)
-	run("fig6", h.Figure6)
-	run("fig7", h.Figure7)
-	run("headline", h.HeadlineReport)
-	run("ablation", h.Ablation)
-	run("corpus", h.CorpusStats)
-	run("gallery", h.FailureGallery)
-	run("passk", h.PassAtKTable)
-	run("problems", h.ProblemBreakdown)
-	run("lint", h.LintReport)
 
 	// Finish the CPU profile before anything that can exit, so a
 	// memprofile failure never leaves a truncated cpuprofile behind.
 	stopCPU()
 
 	if err := fw.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "vgen-eval: record: %v\n", err)
-		os.Exit(1)
+		fail("record: %v", err)
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
+			fail("memprofile: %v", err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
+			fail("memprofile: %v", err)
 		}
 		f.Close()
+	}
+}
+
+// knownExperiment reports whether the harness has a renderer by name.
+func knownExperiment(name string) bool {
+	for _, r := range harness.Renderers() {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// rejectNonCell exits 2 when -experiment selects an artifact the sharded
+// paths cannot handle: "all" means every cell-based artifact, anything
+// else must itself be cell-based.
+func rejectNonCell(experiment, what string) {
+	if experiment == "all" {
+		return
+	}
+	for _, e := range harness.CellExperiments() {
+		if e == experiment {
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s only handles cell-based artifacts %v, not %q\n",
+		what, harness.CellExperiments(), experiment)
+	os.Exit(2)
+}
+
+func rejectNonCellMerge(experiment string) { rejectNonCell(experiment, "-merge") }
+func rejectNonCellShard(experiment string) { rejectNonCell(experiment, "-emit/-emit-plan") }
+
+// renderExperiments prints the selected artifacts in the harness
+// registry's fixed order; cellOnly restricts to cell-based artifacts
+// (the merged-results path, where nothing else is computable).
+func renderExperiments(h *harness.Harness, experiment string, cellOnly bool) {
+	for _, r := range harness.Renderers() {
+		if experiment != "all" && experiment != r.Name {
+			continue
+		}
+		if cellOnly && !r.Cell {
+			continue
+		}
+		fmt.Println(r.Render(h))
 	}
 }

@@ -74,8 +74,10 @@ func (oracleBackend) Complete(key gen.Key, p *problems.Problem, level problems.L
 func init() {
 	// Registration makes the backends reachable by name — e.g. a tool's
 	// -backend flag — without the tool importing this package's types.
-	gen.Register("assign-template", func(gen.Options) (gen.Backend, error) { return templateBackend{}, nil })
-	gen.Register("oracle", func(gen.Options) (gen.Backend, error) { return oracleBackend{}, nil })
+	gen.Register("assign-template", "heuristic assign-statement template baseline",
+		func(gen.Options) (gen.Backend, error) { return templateBackend{}, nil })
+	gen.Register("oracle", "answers with the reference solution (upper bound)",
+		func(gen.Options) (gen.Backend, error) { return oracleBackend{}, nil })
 }
 
 // score sweeps one backend over the whole benchmark through the real

@@ -55,6 +55,12 @@ type Framework struct {
 	recFile *os.File
 	recBuf  *bufio.Writer
 	rec     *gen.Recorder
+
+	// backendTag is the unwrapped backend's Describe() — the sweep
+	// identity shard files are validated and merged under. Captured
+	// before any recorder wrapping: recording is observation-only, so a
+	// recorded shard must merge cleanly with an unrecorded one.
+	backendTag string
 }
 
 // New builds the framework: constructs the selected backend (for the
@@ -78,7 +84,7 @@ func New(cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	fw := &Framework{Backend: b, cfg: cfg}
+	fw := &Framework{Backend: b, cfg: cfg, backendTag: b.Describe()}
 	if fb, ok := b.(*gen.FamilyBackend); ok {
 		fw.Family = fb.Family()
 	}
@@ -124,7 +130,8 @@ func Problems() []*problems.Problem { return problems.All() }
 // Models returns the evaluated model line-up (Table I).
 func Models() []model.ID { return model.IDs }
 
-// Backends returns the registered generation-backend names.
+// Backends returns the registered generation-backend names; gen.List
+// additionally carries each backend's description.
 func Backends() []string { return gen.Names() }
 
 // EvaluateCompletion runs the compile + functional pipeline on an

@@ -120,3 +120,33 @@ func TestBackendSelectionAndRecordReplay(t *testing.T) {
 		t.Errorf("Backends() = %v, missing mutant", Backends())
 	}
 }
+
+// TestRecordingDoesNotSplitShardIdentity pins the sweep-identity rule: a
+// worker that also records (-record wraps the backend in a Recorder)
+// must emit shards under the same backend tag as one that does not, or
+// recorded and unrecorded shards of one sweep would refuse to merge.
+func TestRecordingDoesNotSplitShardIdentity(t *testing.T) {
+	dir := t.TempDir()
+	plain, err := New(Config{Seed: 3, Backend: "mutant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recording, err := New(Config{Seed: 3, Backend: "mutant", Record: filepath.Join(dir, "rec.jsonl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recording.Close()
+
+	exps := []string{"table3"}
+	_, mPlain, err := plain.ShardPlan(exps, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mRec, err := recording.ShardPlan(exps, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPlain.Backend != mRec.Backend {
+		t.Fatalf("recording split the sweep identity: %q vs %q", mPlain.Backend, mRec.Backend)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+// Distributed-sweep orchestration: plan → execute-shard → merge. A
+// coordinator builds the artifact plan, partitions it, and either runs
+// one partition in-process (WriteShard) or serializes it for a remote
+// worker (WriteShardPlan → RunPlanFile elsewhere). Shard result files
+// merge back into a render-only harness (HarnessFromShards) with no
+// backend attached — the per-sample seed hashing makes the merged tables
+// byte-identical to a monolithic run. See DESIGN.md, "Sharded sweep
+// execution".
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/wire"
+)
+
+// shardMeta is this framework's sweep identity: the backend tag and seed
+// every shard of one distributed sweep must share. The tag is the
+// unwrapped backend's (not a Recorder's "record(...)" wrapper), so
+// whether a worker also records never splits the sweep identity.
+func (f *Framework) shardMeta(shard, shards int) wire.Meta {
+	return wire.Meta{
+		Backend: f.backendTag, Seed: f.cfg.Seed,
+		Shard: shard, Shards: shards,
+	}
+}
+
+// ShardPlan builds shard i of n of the query plan for the named
+// cell-based experiments ("all" = every cell-based artifact).
+func (f *Framework) ShardPlan(experiments []string, shard, shards int) (*eval.Plan, wire.Meta, error) {
+	full, err := f.Harness.PlanFor(experiments)
+	if err != nil {
+		return nil, wire.Meta{}, err
+	}
+	sub, err := full.Shard(shard, shards)
+	if err != nil {
+		return nil, wire.Meta{}, err
+	}
+	return sub, f.shardMeta(shard, shards), nil
+}
+
+// ExecuteShard evaluates shard i of n of the experiments' plan.
+func (f *Framework) ExecuteShard(experiments []string, shard, shards int) (*eval.ResultSet, wire.Meta, error) {
+	plan, m, err := f.ShardPlan(experiments, shard, shards)
+	if err != nil {
+		return nil, wire.Meta{}, err
+	}
+	rs, err := f.Runner.RunPlan(plan)
+	if err != nil {
+		return nil, wire.Meta{}, err
+	}
+	return rs, m, nil
+}
+
+// WriteShard executes one shard and writes its wire result file — the
+// worker side of a distributed sweep.
+func (f *Framework) WriteShard(path string, experiments []string, shard, shards int) error {
+	rs, m, err := f.ExecuteShard(experiments, shard, shards)
+	if err != nil {
+		return err
+	}
+	return writeFile(path, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
+}
+
+// WriteShardPlan serializes one shard's plan without executing it — the
+// coordinator side when workers run elsewhere (see RunPlanFile).
+func (f *Framework) WriteShardPlan(path string, experiments []string, shard, shards int) error {
+	plan, m, err := f.ShardPlan(experiments, shard, shards)
+	if err != nil {
+		return err
+	}
+	return writeFile(path, func(out *os.File) error { return wire.WritePlan(out, m, plan.Coords()) })
+}
+
+// RunPlanFile executes a serialized shard plan against this framework's
+// backend and writes the shard result file. The plan must address this
+// exact sweep: the backend tag and runner seed are validated so a worker
+// configured differently from the coordinator fails loudly instead of
+// producing cells that merge into a subtly wrong table.
+func (f *Framework) RunPlanFile(planPath, outPath string) error {
+	in, err := os.Open(planPath)
+	if err != nil {
+		return err
+	}
+	m, coords, err := wire.ReadPlan(in)
+	in.Close()
+	if err != nil {
+		return err
+	}
+	if got := f.backendTag; m.Backend != got {
+		return fmt.Errorf("core: plan is for backend %q, this worker runs %q", m.Backend, got)
+	}
+	if m.Seed != f.cfg.Seed {
+		return fmt.Errorf("core: plan is for seed %d, this worker runs seed %d", m.Seed, f.cfg.Seed)
+	}
+	plan, err := eval.PlanFromCoords(coords)
+	if err != nil {
+		return err
+	}
+	rs, err := f.Runner.RunPlan(plan)
+	if err != nil {
+		return err
+	}
+	return writeFile(outPath, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
+}
+
+// MergeShardFiles reads and merges shard result files, in any order,
+// enforcing the wire package's completeness and identity checks.
+func MergeShardFiles(paths []string) (*eval.ResultSet, wire.Meta, error) {
+	shards := make([]wire.Shard, 0, len(paths))
+	for _, path := range paths {
+		in, err := os.Open(path)
+		if err != nil {
+			return nil, wire.Meta{}, err
+		}
+		sh, err := wire.ReadResults(in)
+		in.Close()
+		if err != nil {
+			return nil, wire.Meta{}, fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, sh)
+	}
+	return wire.Merge(shards)
+}
+
+// HarnessFromShards merges shard result files into a render-only harness:
+// every cell-based table and figure regenerates from the merged stats
+// with no backend, corpus, or model construction at all. The returned
+// ResultSet is the harness's cell source; check ResultSet.Missing after
+// rendering to catch shards that don't cover the requested artifacts.
+func HarnessFromShards(paths []string, sweep eval.SweepOptions) (*harness.Harness, *eval.ResultSet, wire.Meta, error) {
+	rs, m, err := MergeShardFiles(paths)
+	if err != nil {
+		return nil, nil, wire.Meta{}, err
+	}
+	return harness.FromResults(rs, sweep), rs, m, nil
+}
+
+// writeFile creates path, runs write, and keeps the first error through
+// close so a full disk is never reported as success.
+func writeFile(path string, write func(*os.File) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(out)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -299,6 +299,13 @@ type Query struct {
 // querySeed hashes the query coordinates (not N) into the base seed that
 // sample indices are derived from. Excluding N gives the streams a prefix
 // property: sample i is the same draw in an n=1, n=10, or n=25 sweep.
+//
+// The truncating int64(t*1000) below is load-bearing and deliberately NOT
+// gen.TempMilli (which rounds): "fixing" it would change every seed
+// stream and silently invalidate all existing recordings and shard
+// results. Seed correctness never depends on the two quantizers agreeing
+// — only on the temperature float itself being identical, which
+// Plan.Add's round-trip check guarantees for serialized coordinates.
 func (r *Runner) querySeed(q Query) int64 {
 	h := fnvUint(fnvOffset, uint64(r.Seed))
 	h = fnvString(h, string(q.Model))
@@ -358,6 +365,21 @@ type sampleResult struct {
 	outcome Outcome
 	latency float64
 	ok      bool
+}
+
+// stats is the sample's one-observation CellStats contribution. Reducing
+// through it makes CellStats.Add the single merge path for every
+// aggregation level: sample into cell here, cell into pooled scenario in
+// the sweeps, and shard into sweep in the cross-process merge.
+func (sr sampleResult) stats() CellStats {
+	st := CellStats{Samples: 1, SumLat: sr.latency}
+	if sr.outcome.Compiles {
+		st.Compiled = 1
+	}
+	if sr.outcome.Passes {
+		st.Passed = 1
+	}
+	return st
 }
 
 // Run executes one query: n completions sampled and evaluated.
@@ -420,21 +442,14 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 		wg.Wait()
 	}
 
-	// Deterministic reduction: per-query, in sample-index order.
+	// Deterministic reduction: per-query, in sample-index order, through
+	// the same Add the cross-process shard merge uses.
 	out := make([]CellStats, len(qs))
 	for qi := range qs {
 		for _, sr := range results[qi] {
-			if !sr.ok {
-				continue
+			if sr.ok {
+				out[qi].Add(sr.stats())
 			}
-			out[qi].Samples++
-			if sr.outcome.Compiles {
-				out[qi].Compiled++
-			}
-			if sr.outcome.Passes {
-				out[qi].Passed++
-			}
-			out[qi].SumLat += sr.latency
 		}
 	}
 	return out

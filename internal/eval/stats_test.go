@@ -64,3 +64,63 @@ func TestCellIntervals(t *testing.T) {
 		t.Fatal("higher rate should shift the interval up")
 	}
 }
+
+// randomCellStats builds a CellStats from fuzz bytes. Latency sums are
+// multiples of 0.25, which are exact in binary floating point at these
+// magnitudes, so the algebraic properties below hold with == rather than
+// a tolerance: the merge path promises bit-identical, not approximately
+// equal, pooling.
+func randomCellStats(samples, compiled, passed, latQuarters uint8) CellStats {
+	s := int(samples)
+	c := int(compiled) % (s + 1)
+	return CellStats{
+		Samples:  s,
+		Compiled: c,
+		Passed:   int(passed) % (c + 1),
+		SumLat:   0.25 * float64(latQuarters),
+	}
+}
+
+func TestCellStatsAddCommutative(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		x, y := randomCellStats(a[0], a[1], a[2], a[3]), randomCellStats(b[0], b[1], b[2], b[3])
+		ab, ba := x, y
+		ab.Add(y)
+		ba.Add(x)
+		return ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellStatsAddAssociative(t *testing.T) {
+	f := func(a, b, c [4]uint8) bool {
+		x := randomCellStats(a[0], a[1], a[2], a[3])
+		y := randomCellStats(b[0], b[1], b[2], b[3])
+		z := randomCellStats(c[0], c[1], c[2], c[3])
+		left := x // (x+y)+z
+		left.Add(y)
+		left.Add(z)
+		yz := y // x+(y+z)
+		yz.Add(z)
+		right := x
+		right.Add(yz)
+		return left == right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellStatsAddZeroIdentity(t *testing.T) {
+	f := func(a [4]uint8) bool {
+		x := randomCellStats(a[0], a[1], a[2], a[3])
+		sum := x
+		sum.Add(CellStats{})
+		return sum == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,12 @@ import (
 // figures. Each sweep pools cells into Pass@(scenario·n) values and, where
 // the paper reports "best results", selects the best temperature per
 // scenario (Section V-B).
+//
+// Every sweep is a pure function of per-query CellStats, so each is
+// written over a CellSource: a live Runner computes the cells in-process,
+// a ResultSet replays merged shard results, and PlanSource enumerates the
+// cells without evaluating anything. The Runner methods below are thin
+// delegates kept for the common attached case.
 
 // SweepOptions bound the sweep cost.
 type SweepOptions struct {
@@ -16,12 +22,18 @@ type SweepOptions struct {
 	Temperatures []float64 // nil = the paper's five temperatures
 }
 
-func (o SweepOptions) n() int {
+// ResolvedN is the effective completions-per-prompt count: N, or the
+// paper's default of 10 when unset. Exported so renderers outside this
+// package resolve the same default — N is part of the wire cell address,
+// so two resolvers drifting apart would plan disjoint cells.
+func (o SweepOptions) ResolvedN() int {
 	if o.N <= 0 {
 		return 10
 	}
 	return o.N
 }
+
+func (o SweepOptions) n() int { return o.ResolvedN() }
 
 func (o SweepOptions) temps() []float64 {
 	if len(o.Temperatures) == 0 {
@@ -30,11 +42,11 @@ func (o SweepOptions) temps() []float64 {
 	return o.Temperatures
 }
 
-// scenarioStats pools every (problem, level) cell of a scenario at one
-// temperature. The cells go through EvaluateBatch as one fan-out, so the
-// worker pool sees every (problem, level, sample) item of the scenario at
-// once rather than draining one cell at a time.
-func (r *Runner) scenarioStats(mv ModelVariant, ps []*problems.Problem, levels []problems.Level, temp float64, n int) CellStats {
+// ScenarioStats pools every (problem, level) cell of a scenario at one
+// temperature. The cells go to the source as one batch, so a live Runner
+// sees every (problem, level, sample) item of the scenario at once rather
+// than draining one cell at a time.
+func ScenarioStats(src CellSource, mv ModelVariant, ps []*problems.Problem, levels []problems.Level, temp float64, n int) CellStats {
 	qs := make([]Query, 0, len(ps)*len(levels))
 	for _, p := range ps {
 		for _, l := range levels {
@@ -45,7 +57,7 @@ func (r *Runner) scenarioStats(mv ModelVariant, ps []*problems.Problem, levels [
 		}
 	}
 	pooled := CellStats{}
-	for _, st := range r.EvaluateBatch(qs) {
+	for _, st := range src.Cells(qs) {
 		pooled.Add(st)
 	}
 	return pooled
@@ -53,12 +65,12 @@ func (r *Runner) scenarioStats(mv ModelVariant, ps []*problems.Problem, levels [
 
 // BestOverTemps returns the best-scoring pooled stats across the sweep
 // temperatures, using score to rank (compile rate or pass rate).
-func (r *Runner) BestOverTemps(mv ModelVariant, ps []*problems.Problem, levels []problems.Level, opts SweepOptions, score func(CellStats) float64) (CellStats, float64) {
+func BestOverTemps(src CellSource, mv ModelVariant, ps []*problems.Problem, levels []problems.Level, opts SweepOptions, score func(CellStats) float64) (CellStats, float64) {
 	var best CellStats
 	bestTemp := opts.temps()[0]
 	first := true
 	for _, t := range opts.temps() {
-		st := r.scenarioStats(mv, ps, levels, t, opts.n())
+		st := ScenarioStats(src, mv, ps, levels, t, opts.n())
 		if first || score(st) > score(best) {
 			best, bestTemp = st, t
 			first = false
@@ -69,29 +81,29 @@ func (r *Runner) BestOverTemps(mv ModelVariant, ps []*problems.Problem, levels [
 
 // TableIIICell computes one Table III entry: best-temperature compile rate
 // for a (model variant, difficulty) scenario pooled over all levels.
-func (r *Runner) TableIIICell(mv ModelVariant, d problems.Difficulty, opts SweepOptions) float64 {
-	st, _ := r.BestOverTemps(mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.CompileRate)
+func TableIIICell(src CellSource, mv ModelVariant, d problems.Difficulty, opts SweepOptions) float64 {
+	st, _ := BestOverTemps(src, mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.CompileRate)
 	return st.CompileRate()
 }
 
 // TableIVCell computes one Table IV entry: best-temperature functional
 // pass rate for a (model variant, difficulty, level) scenario.
-func (r *Runner) TableIVCell(mv ModelVariant, d problems.Difficulty, l problems.Level, opts SweepOptions) float64 {
-	st, _ := r.BestOverTemps(mv, problems.ByDifficulty(d), []problems.Level{l}, opts, CellStats.PassRate)
+func TableIVCell(src CellSource, mv ModelVariant, d problems.Difficulty, l problems.Level, opts SweepOptions) float64 {
+	st, _ := BestOverTemps(src, mv, problems.ByDifficulty(d), []problems.Level{l}, opts, CellStats.PassRate)
 	return st.PassRate()
 }
 
 // InferenceTime reports the pooled mean simulated latency for a variant.
-func (r *Runner) InferenceTime(mv ModelVariant, opts SweepOptions) float64 {
-	st := r.scenarioStats(mv, problems.All()[:2], problems.Levels, 0.1, opts.n())
+func InferenceTime(src CellSource, mv ModelVariant, opts SweepOptions) float64 {
+	st := ScenarioStats(src, mv, problems.All()[:2], problems.Levels, 0.1, opts.n())
 	return st.MeanLatency()
 }
 
 // TemperatureSeries is Fig. 6 (left): pooled pass rate per temperature.
-func (r *Runner) TemperatureSeries(mv ModelVariant, opts SweepOptions) []float64 {
+func TemperatureSeries(src CellSource, mv ModelVariant, opts SweepOptions) []float64 {
 	out := make([]float64, 0, len(opts.temps()))
 	for _, t := range opts.temps() {
-		st := r.scenarioStats(mv, problems.All(), problems.Levels, t, opts.n())
+		st := ScenarioStats(src, mv, problems.All(), problems.Levels, t, opts.n())
 		out = append(out, st.PassRate())
 	}
 	return out
@@ -99,7 +111,7 @@ func (r *Runner) TemperatureSeries(mv ModelVariant, opts SweepOptions) []float64
 
 // NSeries is Fig. 6 (right): best-temperature pooled pass rate per
 // completions-per-prompt count.
-func (r *Runner) NSeries(mv ModelVariant, counts []int, opts SweepOptions) []float64 {
+func NSeries(src CellSource, mv ModelVariant, counts []int, opts SweepOptions) []float64 {
 	if len(counts) == 0 {
 		counts = CompletionCounts
 	}
@@ -107,7 +119,7 @@ func (r *Runner) NSeries(mv ModelVariant, counts []int, opts SweepOptions) []flo
 	for _, n := range counts {
 		o := opts
 		o.N = n
-		st, _ := r.BestOverTemps(mv, problems.All(), problems.Levels, o, CellStats.PassRate)
+		st, _ := BestOverTemps(src, mv, problems.All(), problems.Levels, o, CellStats.PassRate)
 		out = append(out, st.PassRate())
 	}
 	return out
@@ -115,10 +127,10 @@ func (r *Runner) NSeries(mv ModelVariant, counts []int, opts SweepOptions) []flo
 
 // DifficultySeries is Fig. 7 (right): best-temperature pass rate per
 // difficulty class.
-func (r *Runner) DifficultySeries(mv ModelVariant, opts SweepOptions) []float64 {
+func DifficultySeries(src CellSource, mv ModelVariant, opts SweepOptions) []float64 {
 	out := make([]float64, 0, len(problems.Difficulties))
 	for _, d := range problems.Difficulties {
-		st, _ := r.BestOverTemps(mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.PassRate)
+		st, _ := BestOverTemps(src, mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.PassRate)
 		out = append(out, st.PassRate())
 	}
 	return out
@@ -126,10 +138,10 @@ func (r *Runner) DifficultySeries(mv ModelVariant, opts SweepOptions) []float64 
 
 // LevelSeries is Fig. 7 (left): best-temperature pass rate per prompt
 // description level.
-func (r *Runner) LevelSeries(mv ModelVariant, opts SweepOptions) []float64 {
+func LevelSeries(src CellSource, mv ModelVariant, opts SweepOptions) []float64 {
 	out := make([]float64, 0, len(problems.Levels))
 	for _, l := range problems.Levels {
-		st, _ := r.BestOverTemps(mv, problems.All(), []problems.Level{l}, opts, CellStats.PassRate)
+		st, _ := BestOverTemps(src, mv, problems.All(), []problems.Level{l}, opts, CellStats.PassRate)
 		out = append(out, st.PassRate())
 	}
 	return out
@@ -137,20 +149,20 @@ func (r *Runner) LevelSeries(mv ModelVariant, opts SweepOptions) []float64 {
 
 // Aggregate pools best-temperature stats over every difficulty and level
 // for a variant (the Sections VI-VII headline aggregates).
-func (r *Runner) Aggregate(mv ModelVariant, opts SweepOptions) CellStats {
+func Aggregate(src CellSource, mv ModelVariant, opts SweepOptions) CellStats {
 	pooled := CellStats{}
 	for _, d := range problems.Difficulties {
-		st, _ := r.BestOverTemps(mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.PassRate)
+		st, _ := BestOverTemps(src, mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.PassRate)
 		pooled.Add(st)
 	}
 	return pooled
 }
 
 // AggregateCompile pools best-temperature compile stats over difficulties.
-func (r *Runner) AggregateCompile(mv ModelVariant, opts SweepOptions) CellStats {
+func AggregateCompile(src CellSource, mv ModelVariant, opts SweepOptions) CellStats {
 	pooled := CellStats{}
 	for _, d := range problems.Difficulties {
-		st, _ := r.BestOverTemps(mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.CompileRate)
+		st, _ := BestOverTemps(src, mv, problems.ByDifficulty(d), problems.Levels, opts, CellStats.CompileRate)
 		pooled.Add(st)
 	}
 	return pooled
@@ -169,21 +181,21 @@ type Headline struct {
 // meanFunctionalCells averages the nine Table IV cells of one variant —
 // the paper's per-model "overall" functional score (the 41.9% / 35.4%
 // numbers are exactly this mean for 16B-FT and codex).
-func (r *Runner) meanFunctionalCells(mv ModelVariant, opts SweepOptions) float64 {
+func meanFunctionalCells(src CellSource, mv ModelVariant, opts SweepOptions) float64 {
 	sum := 0.0
 	for _, d := range problems.Difficulties {
 		for _, l := range problems.Levels {
-			sum += r.TableIVCell(mv, d, l, opts)
+			sum += TableIVCell(src, mv, d, l, opts)
 		}
 	}
 	return sum / 9
 }
 
 // meanCompileCells averages the three Table III cells of one variant.
-func (r *Runner) meanCompileCells(mv ModelVariant, opts SweepOptions) float64 {
+func meanCompileCells(src CellSource, mv ModelVariant, opts SweepOptions) float64 {
 	sum := 0.0
 	for _, d := range problems.Difficulties {
-		sum += r.TableIIICell(mv, d, opts)
+		sum += TableIIICell(src, mv, d, opts)
 	}
 	return sum / 3
 }
@@ -191,16 +203,16 @@ func (r *Runner) meanCompileCells(mv ModelVariant, opts SweepOptions) float64 {
 // ComputeHeadline reproduces the Sections VI-VII aggregates: per-model
 // scores are cell means, and the PT/FT headlines are means over the five
 // fine-tunable models (code-davinci-002 is reported separately).
-func (r *Runner) ComputeHeadline(opts SweepOptions) Headline {
+func ComputeHeadline(src CellSource, opts SweepOptions) Headline {
 	var h Headline
 	nPT, nFT := 0, 0
 	for _, mv := range EvaluatedVariants() {
-		f := r.meanFunctionalCells(mv, opts)
+		f := meanFunctionalCells(src, mv, opts)
 		if mv.Model == model.Codex {
 			h.CodexPT = f
 			continue
 		}
-		c := r.meanCompileCells(mv, opts)
+		c := meanCompileCells(src, mv, opts)
 		if mv.Variant == model.Pretrained {
 			h.CompilePT += c
 			h.FunctionalPT += f
@@ -223,4 +235,63 @@ func (r *Runner) ComputeHeadline(opts SweepOptions) Headline {
 		h.FunctionalFT /= float64(nFT)
 	}
 	return h
+}
+
+// ---- Runner delegates: the attached-source common case ---------------------
+
+// BestOverTemps returns the best-scoring pooled stats across the sweep
+// temperatures.
+func (r *Runner) BestOverTemps(mv ModelVariant, ps []*problems.Problem, levels []problems.Level, opts SweepOptions, score func(CellStats) float64) (CellStats, float64) {
+	return BestOverTemps(r, mv, ps, levels, opts, score)
+}
+
+// TableIIICell computes one Table III entry over this runner.
+func (r *Runner) TableIIICell(mv ModelVariant, d problems.Difficulty, opts SweepOptions) float64 {
+	return TableIIICell(r, mv, d, opts)
+}
+
+// TableIVCell computes one Table IV entry over this runner.
+func (r *Runner) TableIVCell(mv ModelVariant, d problems.Difficulty, l problems.Level, opts SweepOptions) float64 {
+	return TableIVCell(r, mv, d, l, opts)
+}
+
+// InferenceTime reports the pooled mean simulated latency for a variant.
+func (r *Runner) InferenceTime(mv ModelVariant, opts SweepOptions) float64 {
+	return InferenceTime(r, mv, opts)
+}
+
+// TemperatureSeries is Fig. 6 (left) over this runner.
+func (r *Runner) TemperatureSeries(mv ModelVariant, opts SweepOptions) []float64 {
+	return TemperatureSeries(r, mv, opts)
+}
+
+// NSeries is Fig. 6 (right) over this runner.
+func (r *Runner) NSeries(mv ModelVariant, counts []int, opts SweepOptions) []float64 {
+	return NSeries(r, mv, counts, opts)
+}
+
+// DifficultySeries is Fig. 7 (right) over this runner.
+func (r *Runner) DifficultySeries(mv ModelVariant, opts SweepOptions) []float64 {
+	return DifficultySeries(r, mv, opts)
+}
+
+// LevelSeries is Fig. 7 (left) over this runner.
+func (r *Runner) LevelSeries(mv ModelVariant, opts SweepOptions) []float64 {
+	return LevelSeries(r, mv, opts)
+}
+
+// Aggregate pools best-temperature stats over every difficulty and level.
+func (r *Runner) Aggregate(mv ModelVariant, opts SweepOptions) CellStats {
+	return Aggregate(r, mv, opts)
+}
+
+// AggregateCompile pools best-temperature compile stats over difficulties.
+func (r *Runner) AggregateCompile(mv ModelVariant, opts SweepOptions) CellStats {
+	return AggregateCompile(r, mv, opts)
+}
+
+// ComputeHeadline reproduces the Sections VI-VII aggregates over this
+// runner.
+func (r *Runner) ComputeHeadline(opts SweepOptions) Headline {
+	return ComputeHeadline(r, opts)
 }

@@ -10,6 +10,7 @@ package gen_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -120,7 +121,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 			t.Error("duplicate Register should panic")
 		}
 	}()
-	gen.Register("family", func(gen.Options) (gen.Backend, error) { return nil, nil })
+	gen.Register("family", "dup", func(gen.Options) (gen.Backend, error) { return nil, nil })
 }
 
 func TestConformanceVariantsNonEmpty(t *testing.T) {
@@ -230,5 +231,34 @@ func TestConformanceConcurrentComplete(t *testing.T) {
 			}()
 		}
 		wg.Wait()
+	}
+}
+
+// TestReplayDescribeDigestsContent pins the distributed-sweep identity
+// property: recordings that differ in any sample content must carry
+// different Describe() tags (the tag is what wire.Merge and plan
+// validation compare), while a reordered copy of the same recording must
+// carry the same tag.
+func TestReplayDescribeDigestsContent(t *testing.T) {
+	lineA := `{"model":"m","variant":"PT","problem":1,"level":0,"temp_milli":100,"sample":0,"completion":"  assign y = a;\nendmodule\n","latency":1}`
+	lineB := `{"model":"m","variant":"PT","problem":2,"level":0,"temp_milli":100,"sample":0,"completion":"  assign y = b;\nendmodule\n","latency":1}`
+	lineB2 := `{"model":"m","variant":"PT","problem":2,"level":0,"temp_milli":100,"sample":0,"completion":"  assign y = ~b;\nendmodule\n","latency":1}`
+
+	load := func(text string) *gen.Replay {
+		t.Helper()
+		r, err := gen.NewReplay(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ab := load(lineA + "\n" + lineB + "\n")
+	ba := load(lineB + "\n" + lineA + "\n")
+	ab2 := load(lineA + "\n" + lineB2 + "\n")
+	if ab.Describe() != ba.Describe() {
+		t.Errorf("line order changed the identity tag:\n%s\n%s", ab.Describe(), ba.Describe())
+	}
+	if ab.Describe() == ab2.Describe() {
+		t.Errorf("recordings with different completions share the identity tag %q", ab.Describe())
 	}
 }

@@ -8,9 +8,10 @@ import (
 )
 
 func init() {
-	Register("family", func(o Options) (Backend, error) {
-		return NewFamilyBackend(model.NewFamily(o.Family)), nil
-	})
+	Register("family", "simulated n-gram model line-up (the paper's Table I rows)",
+		func(o Options) (Backend, error) {
+			return NewFamilyBackend(model.NewFamily(o.Family)), nil
+		})
 }
 
 // FamilyBackend adapts the simulated n-gram model line-up (model.Family)

@@ -80,15 +80,23 @@ type Backend interface {
 // unusable options.
 type Factory func(o Options) (Backend, error)
 
+type registration struct {
+	factory Factory
+	desc    string
+}
+
 var registry = struct {
 	sync.RWMutex
-	m map[string]Factory
-}{m: map[string]Factory{}}
+	m map[string]registration
+}{m: map[string]registration{}}
 
-// Register adds a backend factory under a name. Registering an empty name
-// or a duplicate panics: registration happens in init functions, where a
-// collision is a programming error.
-func Register(name string, f Factory) {
+// Register adds a backend factory under a name, with a short static
+// description shown by registry listings (`vgen-eval -backend list`). The
+// description stands in for Describe() before any instance exists — a
+// replay backend, say, cannot be constructed just to be listed.
+// Registering an empty name or a duplicate panics: registration happens
+// in init functions, where a collision is a programming error.
+func Register(name, desc string, f Factory) {
 	if name == "" || f == nil {
 		panic("gen: Register with empty name or nil factory")
 	}
@@ -97,18 +105,18 @@ func Register(name string, f Factory) {
 	if _, dup := registry.m[name]; dup {
 		panic(fmt.Sprintf("gen: backend %q registered twice", name))
 	}
-	registry.m[name] = f
+	registry.m[name] = registration{factory: f, desc: desc}
 }
 
 // New constructs the backend registered under name.
 func New(name string, o Options) (Backend, error) {
 	registry.RLock()
-	f := registry.m[name]
+	r, ok := registry.m[name]
 	registry.RUnlock()
-	if f == nil {
+	if !ok {
 		return nil, fmt.Errorf("gen: unknown backend %q (have %v)", name, Names())
 	}
-	return f(o)
+	return r.factory(o)
 }
 
 // Names lists the registered backend names, sorted.
@@ -121,4 +129,24 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Info describes one registered backend for listings.
+type Info struct {
+	Name string
+	Desc string
+}
+
+// List returns every registered backend with its description, sorted by
+// name — the deterministic feed for `-backend list` style UIs (map
+// iteration order never leaks through).
+func List() []Info {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Info, 0, len(registry.m))
+	for n, r := range registry.m {
+		out = append(out, Info{Name: n, Desc: r.desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

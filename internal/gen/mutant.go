@@ -10,7 +10,8 @@ import (
 )
 
 func init() {
-	Register("mutant", func(o Options) (Backend, error) { return NewMutant(), nil })
+	Register("mutant", "AST near-miss / truncation generator (verdict-pipeline probe)",
+		func(o Options) (Backend, error) { return NewMutant(), nil })
 }
 
 // Mutant generates controlled adversarial completions straight from the

@@ -39,7 +39,19 @@ type recKey struct {
 	sample                    int
 }
 
-func tempMilli(t float64) int { return int(math.Round(t * 1000)) }
+// TempScale is the temperature quantization shared by every serialized
+// coordinate in the system: recordings, the replay backend's lookup keys,
+// and the wire package's shard-plan/shard-result coordinates all key
+// temperature in thousandths. One constant means record/replay and
+// cross-process shard results can never disagree on float keying.
+const TempScale = 1000
+
+// TempMilli quantizes a temperature to thousandths (rounded) for
+// coordinate keys. Every paper temperature is an exact multiple of
+// 1/TempScale, so TempMilli(t)/TempScale reproduces t bit-for-bit for the
+// sweep grid; callers serializing arbitrary temperatures should verify
+// that round trip (see wire's coordinate validation).
+func TempMilli(t float64) int { return int(math.Round(t * TempScale)) }
 
 // Recorder wraps any backend and captures every sample it produces as
 // JSONL, one line per distinct coordinate (repeat requests — re-sweeps,
@@ -68,7 +80,7 @@ func (r *Recorder) Complete(key Key, p *problems.Problem, level problems.Level, 
 	}
 	k := recKey{
 		model: key.Model, variant: key.Variant,
-		problem: p.Number, level: int(level), tempMilli: tempMilli(temperature),
+		problem: p.Number, level: int(level), tempMilli: TempMilli(temperature),
 		sample: sampleIdx,
 	}
 	r.mu.Lock()

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"sort"
 
@@ -13,7 +15,7 @@ import (
 )
 
 func init() {
-	Register("replay", func(o Options) (Backend, error) {
+	Register("replay", "serves completions from a JSONL recording (-replay FILE)", func(o Options) (Backend, error) {
 		if o.ReplayPath == "" {
 			return nil, errors.New("gen: replay backend needs a recording (set ReplayPath / -replay)")
 		}
@@ -41,6 +43,7 @@ type Replay struct {
 	samples map[recKey]Sample
 	keys    []Key
 	lines   int
+	digest  uint64
 }
 
 // NewReplay loads a JSONL recording. Later lines win when a coordinate is
@@ -83,7 +86,26 @@ func NewReplay(r io.Reader) (*Replay, error) {
 		}
 		return rp.keys[i].Variant < rp.keys[j].Variant
 	})
+	rp.digest = rp.contentDigest()
 	return rp, nil
+}
+
+// contentDigest hashes the decoded samples — coordinates and payloads —
+// independent of file line order and of duplicate lines that lost the
+// later-line-wins race. Describe() carries it because that tag is the
+// sweep identity distributed shards are validated and merged under: two
+// workers replaying recordings that differ in even one completion must
+// not produce shard files that merge silently into one table.
+func (r *Replay) contentDigest() uint64 {
+	var sum uint64
+	for k, s := range r.samples {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%d\x00%s\x00%s\x00%b",
+			k.model, k.variant, k.problem, k.level, k.tempMilli, k.sample,
+			s.Completion, s.Mechanism, math.Float64bits(s.Latency))
+		sum += h.Sum64() // wrapping add: order-independent over the map
+	}
+	return sum
 }
 
 // Complete returns the recorded sample at the exact coordinates; ok is
@@ -92,7 +114,7 @@ func NewReplay(r io.Reader) (*Replay, error) {
 func (r *Replay) Complete(key Key, p *problems.Problem, level problems.Level, temperature float64, sampleIdx int, baseSeed int64) (Sample, bool) {
 	s, ok := r.samples[recKey{
 		model: key.Model, variant: key.Variant,
-		problem: p.Number, level: int(level), tempMilli: tempMilli(temperature),
+		problem: p.Number, level: int(level), tempMilli: TempMilli(temperature),
 		sample: sampleIdx,
 	}]
 	return s, ok
@@ -101,9 +123,11 @@ func (r *Replay) Complete(key Key, p *problems.Problem, level problems.Level, te
 // Variants lists the (model, variant) lines present in the recording.
 func (r *Replay) Variants() []Key { return append([]Key(nil), r.keys...) }
 
-// Describe summarizes the recording.
+// Describe summarizes the recording, including a content digest so two
+// different recordings never share an identity tag.
 func (r *Replay) Describe() string {
-	return fmt.Sprintf("replay: %d recorded samples across %d model lines", len(r.samples), len(r.keys))
+	return fmt.Sprintf("replay: %d recorded samples across %d model lines (content %016x)",
+		len(r.samples), len(r.keys), r.digest)
 }
 
 // Len reports how many distinct samples the recording holds.

@@ -26,10 +26,116 @@ import (
 // Harness drives one evaluation configuration. The evaluation pool width
 // lives on the Runner (Runner.Workers), and the completion source is
 // whatever gen.Backend the Runner wraps.
+//
+// Every cell-consuming renderer draws per-query stats through one
+// eval.CellSource: the Runner when the harness is attached to a live
+// backend, or any other source — merged shard results (FromResults), a
+// plan recorder (PlanFor) — when it is not. Renderers that need more than
+// cells (Ablation builds whole new families, CorpusStats runs the corpus
+// pipeline) still require a live configuration.
 type Harness struct {
 	Runner *eval.Runner
-	Opts   eval.SweepOptions
-	Seed   int64
+
+	// Source overrides the Runner as the cell provider when non-nil. A
+	// harness over merged shard results has a Source and no Runner.
+	Source eval.CellSource
+
+	Opts eval.SweepOptions
+	Seed int64
+}
+
+// src is the cell provider renderers read through.
+func (h *Harness) src() eval.CellSource {
+	if h.Source != nil {
+		return h.Source
+	}
+	return h.Runner
+}
+
+// FromResults builds a render-only harness over per-cell stats — merged
+// shard results, typically. Sweep options must match the run that
+// produced the cells, since they shape which cells the renderers request.
+func FromResults(rs *eval.ResultSet, opts eval.SweepOptions) *Harness {
+	return &Harness{Source: rs, Opts: opts}
+}
+
+// Renderer is one named artifact renderer. Cell marks artifacts whose
+// output is a pure function of per-cell stats — the ones a sharded sweep
+// can compute and a merged result set can render offline.
+type Renderer struct {
+	Name   string
+	Cell   bool
+	Desc   string
+	Render func(*Harness) string
+}
+
+// renderers is the single registry of artifact renderers, in render
+// order. CellExperiments, PlanFor, ExperimentIndex, and vgen-eval's
+// dispatch all derive from it, so the list, the planner, and the CLI
+// cannot drift.
+var renderers = []Renderer{
+	{"table1", false, "baseline LLM architectures", (*Harness).TableI},
+	{"table2", false, "problem set", (*Harness).TableII},
+	{"table3", true, "compile-rate matrix (best temperature)", (*Harness).TableIII},
+	{"table4", true, "functional-pass matrix + inference time", (*Harness).TableIV},
+	{"fig6", true, "pass rate vs temperature and vs completions/prompt", (*Harness).Figure6},
+	{"fig7", true, "pass rate vs difficulty and vs description level", (*Harness).Figure7},
+	{"headline", true, "Sections VI-VII aggregates", (*Harness).HeadlineReport},
+	{"ablation", false, "GitHub vs GitHub+books fine-tuning corpus", (*Harness).Ablation},
+	{"corpus", false, "Section III-A pipeline statistics", (*Harness).CorpusStats},
+	{"gallery", false, "near-miss failure modes", (*Harness).FailureGallery},
+	{"passk", true, "unbiased pass@k estimator table (extension)", (*Harness).PassAtKTable},
+	{"problems", true, "per-problem breakdown for CodeGen-16B FT (Section VI)", (*Harness).ProblemBreakdown},
+	{"lint", false, "synthesizability findings on references vs mutants (extension)", (*Harness).LintReport},
+}
+
+// Renderers lists every artifact renderer in render order.
+func Renderers() []Renderer { return append([]Renderer(nil), renderers...) }
+
+// CellExperiments lists the cell-based artifact names, in render order.
+func CellExperiments() []string {
+	var out []string
+	for _, r := range renderers {
+		if r.Cell {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// PlanFor enumerates every evaluation cell the named cell-based artifacts
+// consume, by running their renderers against a recording source. The
+// plan therefore can never drift from the render path: whatever cells a
+// renderer asks for are exactly the cells planned. "all" expands to every
+// cell-based artifact.
+func (h *Harness) PlanFor(experiments []string) (*eval.Plan, error) {
+	var names []string
+	for _, e := range experiments {
+		if e == "all" {
+			names = append(names, CellExperiments()...)
+		} else {
+			names = append(names, e)
+		}
+	}
+	plan := eval.NewPlan()
+	shadow := &Harness{Source: eval.PlanSource(plan), Opts: h.Opts, Seed: h.Seed}
+	for _, e := range names {
+		found := false
+		for _, r := range renderers {
+			if r.Cell && r.Name == e {
+				_ = r.Render(shadow)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("harness: %q is not a cell-based artifact (have %v)", e, CellExperiments())
+		}
+	}
+	if err := plan.Err(); err != nil {
+		return nil, err
+	}
+	return plan, nil
 }
 
 // Options configure New.
@@ -138,7 +244,7 @@ func (h *Harness) TableIIIData() map[eval.ModelVariant][3]float64 {
 	for _, mv := range variantRows() {
 		var row [3]float64
 		for i, d := range problems.Difficulties {
-			row[i] = h.Runner.TableIIICell(mv, d, h.Opts)
+			row[i] = eval.TableIIICell(h.src(), mv, d, h.Opts)
 		}
 		out[mv] = row
 	}
@@ -176,10 +282,10 @@ type TableIVRow struct {
 func (h *Harness) TableIVData() []TableIVRow {
 	var rows []TableIVRow
 	for _, mv := range variantRows() {
-		row := TableIVRow{Variant: mv, Latency: h.Runner.InferenceTime(mv, h.Opts)}
+		row := TableIVRow{Variant: mv, Latency: eval.InferenceTime(h.src(), mv, h.Opts)}
 		for di, d := range problems.Difficulties {
 			for li, l := range problems.Levels {
-				row.Cells[di][li] = h.Runner.TableIVCell(mv, d, l, h.Opts)
+				row.Cells[di][li] = eval.TableIVCell(h.src(), mv, d, l, h.Opts)
 			}
 		}
 		rows = append(rows, row)
@@ -237,7 +343,7 @@ func (h *Harness) Figure6() string {
 	}
 	sb.WriteString("\n")
 	for _, mv := range figureVariants() {
-		series := h.Runner.TemperatureSeries(mv, h.Opts)
+		series := eval.TemperatureSeries(h.src(), mv, h.Opts)
 		fmt.Fprintf(&sb, "%s,%s", mv.Model, mv.Variant)
 		for _, v := range series {
 			fmt.Fprintf(&sb, ",%.3f", v)
@@ -251,7 +357,7 @@ func (h *Harness) Figure6() string {
 		if mv.Model == model.J1Large7B {
 			counts = []int{1, 10} // the paper skips n=25 for J1
 		}
-		series := h.Runner.NSeries(mv, counts, h.Opts)
+		series := eval.NSeries(h.src(), mv, counts, h.Opts)
 		fmt.Fprintf(&sb, "%s,%s", mv.Model, mv.Variant)
 		for _, v := range series {
 			fmt.Fprintf(&sb, ",%.3f", v)
@@ -270,13 +376,13 @@ func (h *Harness) Figure7() string {
 	sb.WriteString("Figure 7 (left): Pass@(scenario*10) vs description level\n")
 	sb.WriteString("model,variant,L,M,H\n")
 	for _, mv := range figureVariants() {
-		s := h.Runner.LevelSeries(mv, h.Opts)
+		s := eval.LevelSeries(h.src(), mv, h.Opts)
 		fmt.Fprintf(&sb, "%s,%s,%.3f,%.3f,%.3f\n", mv.Model, mv.Variant, s[0], s[1], s[2])
 	}
 	sb.WriteString("\nFigure 7 (right): Pass@(scenario*10) vs difficulty\n")
 	sb.WriteString("model,variant,Basic,Intermediate,Advanced\n")
 	for _, mv := range figureVariants() {
-		s := h.Runner.DifficultySeries(mv, h.Opts)
+		s := eval.DifficultySeries(h.src(), mv, h.Opts)
 		fmt.Fprintf(&sb, "%s,%s,%.3f,%.3f,%.3f\n", mv.Model, mv.Variant, s[0], s[1], s[2])
 	}
 	return sb.String()
@@ -285,7 +391,7 @@ func (h *Harness) Figure7() string {
 // HeadlineReport compares measured aggregates to the paper's Sections
 // VI-VII numbers.
 func (h *Harness) HeadlineReport() string {
-	hl := h.Runner.ComputeHeadline(h.Opts)
+	hl := eval.ComputeHeadline(h.src(), h.Opts)
 	var sb strings.Builder
 	sb.WriteString("Headline aggregates (measured | paper)\n")
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
@@ -304,6 +410,9 @@ func (h *Harness) HeadlineReport() string {
 // — the ablation is about the fine-tuning corpus, whatever backend the
 // enclosing harness runs.
 func (h *Harness) Ablation() string {
+	if h.Runner == nil {
+		return "Corpus ablation unavailable: needs a live backend, not merged shard results\n"
+	}
 	ghOnly, err := New(Options{Seed: h.Seed, Sweep: h.Opts, Corpus: model.GitHubOnly, Workers: h.Runner.Workers})
 	if err != nil {
 		return fmt.Sprintf("Corpus ablation unavailable: %v\n", err)
@@ -382,14 +491,18 @@ func (h *Harness) PassAtKTable() string {
 	fmt.Fprintln(w, "Model\tType\tDifficulty\tpass@1\tpass@5\tpass@10")
 	for _, mv := range figureVariants() {
 		for _, d := range problems.Difficulties {
-			pooled := eval.CellStats{}
+			var qs []eval.Query
 			for _, p := range problems.ByDifficulty(d) {
 				for _, l := range problems.Levels {
-					pooled.Add(h.Runner.Run(eval.Query{
+					qs = append(qs, eval.Query{
 						Model: mv.Model, Variant: mv.Variant,
 						Problem: p, Level: l, Temperature: 0.1, N: n,
-					}))
+					})
 				}
+			}
+			pooled := eval.CellStats{}
+			for _, st := range h.src().Cells(qs) {
+				pooled.Add(st)
 			}
 			fmt.Fprintf(w, "%s\t%s\t%s", mv.Model, mv.Variant, d)
 			for _, k := range ks {
@@ -411,15 +524,20 @@ func (h *Harness) ProblemBreakdown() string {
 	sb.WriteString("Per-problem results, CodeGen-16B FT (Section VI analysis)\n")
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Prob.#\tSlug\tDifficulty\tSamples\tCompiled\tPassed\tPass 95% CI")
+	n := h.Opts.ResolvedN()
 	for _, p := range problems.All() {
-		pooled := eval.CellStats{}
+		var qs []eval.Query
 		for _, l := range problems.Levels {
 			for _, t := range []float64{0.1, 0.3, 0.5, 0.7, 1.0} {
-				pooled.Add(h.Runner.Run(eval.Query{
+				qs = append(qs, eval.Query{
 					Model: mv.Model, Variant: mv.Variant,
-					Problem: p, Level: l, Temperature: t, N: h.Opts.N,
-				}))
+					Problem: p, Level: l, Temperature: t, N: n,
+				})
 			}
+		}
+		pooled := eval.CellStats{}
+		for _, st := range h.src().Cells(qs) {
+			pooled.Add(st)
 		}
 		lo, hi := pooled.PassInterval()
 		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%d\t[%.2f, %.2f]\n",
@@ -491,22 +609,13 @@ func (h *Harness) LintReport() string {
 	return sb.String()
 }
 
-// ExperimentIndex lists every regenerable artifact (for --list output).
+// ExperimentIndex lists every regenerable artifact (for --list output),
+// derived from the renderer registry so the listing can never advertise
+// a name the dispatcher doesn't know, or miss one it does.
 func ExperimentIndex() []string {
-	items := []string{
-		"table1: baseline LLM architectures",
-		"table2: problem set",
-		"table3: compile-rate matrix (best temperature)",
-		"table4: functional-pass matrix + inference time",
-		"fig6: pass rate vs temperature and vs completions/prompt",
-		"fig7: pass rate vs difficulty and vs description level",
-		"headline: Sections VI-VII aggregates",
-		"ablation: GitHub vs GitHub+books fine-tuning corpus",
-		"corpus: Section III-A pipeline statistics",
-		"gallery: near-miss failure modes",
-		"passk: unbiased pass@k estimator table (extension)",
-		"problems: per-problem breakdown for CodeGen-16B FT (Section VI)",
-		"lint: synthesizability findings on references vs mutants (extension)",
+	items := make([]string, 0, len(renderers))
+	for _, r := range renderers {
+		items = append(items, r.Name+": "+r.Desc)
 	}
 	sort.Strings(items)
 	return items

@@ -167,3 +167,67 @@ func TestDeterministicTables(t *testing.T) {
 		t.Fatal("Table III not deterministic")
 	}
 }
+
+// TestMergedShardsRenderIdentical drives the whole distributed path
+// in-process: enumerate the artifact plan off the renderers, execute it
+// as three shards on independent harnesses (separate processes share no
+// caches), merge, and render from the merged stats alone. Output must be
+// byte-identical to the live harness at every five-temperature artifact.
+func TestMergedShardsRenderIdentical(t *testing.T) {
+	opts := Options{
+		Seed:        7,
+		CorpusFiles: 60,
+		Sweep:       eval.SweepOptions{N: 3, Temperatures: []float64{0.1, 0.3, 0.5, 0.7, 1.0}},
+	}
+	live, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments := []string{"table3", "fig6", "passk"}
+	plan, err := live.PlanFor(experiments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() == 0 {
+		t.Fatal("empty plan")
+	}
+
+	const shards = 3
+	merged := eval.NewResultSet()
+	for i := 0; i < shards; i++ {
+		worker, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := plan.Shard(i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := worker.Runner.RunPlan(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	offline := FromResults(merged, opts.Sweep)
+	for _, check := range []struct {
+		name string
+		f    func(*Harness) string
+	}{
+		{"table3", (*Harness).TableIII},
+		{"fig6", (*Harness).Figure6},
+		{"passk", (*Harness).PassAtKTable},
+	} {
+		want := check.f(live)
+		got := check.f(offline)
+		if got != want {
+			t.Errorf("%s differs between live and merged-shard rendering:\nlive:\n%s\nmerged:\n%s", check.name, want, got)
+		}
+	}
+	if missing := merged.Missing(); len(missing) > 0 {
+		t.Fatalf("merged results left %d cells unserved: %+v", len(missing), missing[0])
+	}
+}
