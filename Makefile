@@ -7,7 +7,7 @@ DATE := $(shell date +%Y%m%d)
 # file, so bench-compare always has a baseline to diff against
 BENCHFILE := $(shell f=BENCH_$(DATE).json; i=2; while [ -e $$f ]; do f=BENCH_$(DATE).$$i.json; i=$$((i+1)); done; echo $$f)
 
-.PHONY: all build vet test race bench bench-compare shard-check clean
+.PHONY: all build vet test race bench bench-compare shard-check coord-check clean
 
 all: build test
 
@@ -21,9 +21,11 @@ test: vet
 	$(GO) test ./...
 
 # race-checks the packages with concurrency: the parallel evaluation
-# engine, the model family it drives, and the generation-backend layer.
+# engine, the model family it drives, the generation-backend layer, and
+# the sweep coordinator (whose fault-injection suite exercises every
+# supervision path).
 race:
-	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/...
+	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/... ./internal/coord/...
 
 # -json emits the test2json stream (one JSON object per line) including
 # every Benchmark output line, so the file is grep- and jq-friendly.
@@ -43,6 +45,13 @@ bench-compare:
 # five paper temperatures, for the family and replay backends.
 shard-check:
 	GO=$(GO) ./scripts/shard-check.sh
+
+# coord-check proves fault-tolerant supervision: a 4-way supervised run
+# with subprocess workers and injected crashes must merge byte-identical
+# to the monolithic run, and exhausted retries must degrade to an
+# explicit partial result that a restarted coordinator resumes.
+coord-check:
+	GO=$(GO) ./scripts/coord-check.sh
 
 clean:
 	rm -f BENCH_*.json

@@ -7,7 +7,7 @@
 //	          [-backend NAME] [-record FILE] [-replay FILE]
 //	          [-shards N -shard I -emit out.jsonl]
 //	          [-emit-plan plan.jsonl] [-from-plan plan.jsonl -emit out.jsonl]
-//	          [-merge a.jsonl,b.jsonl,...]
+//	          [-merge a.jsonl,b.jsonl,... [-allow-partial]]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //	          [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|passk|problems|lint|list]
 //
@@ -34,18 +34,29 @@
 // (table3, table4, fig6, fig7, headline, passk, problems) shard;
 // -experiment all selects exactly those in emit/merge modes.
 //
+// A -merge missing some of its sweep's shards fails by default (a table
+// silently rendered from partial data is the worst outcome a distributed
+// sweep can have). -allow-partial instead renders what is present and
+// prints a deterministic report of the missing shards and exactly which
+// cells their absence left uncovered. Supervised end-to-end runs —
+// retry, work-stealing, resume — live in the vgen-coord command.
+//
 // -cpuprofile/-memprofile capture pprof profiles from the real binary
 // under real sweep traffic, so hot spots can be read off production-shaped
 // runs rather than microbenches.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -75,6 +86,7 @@ func main() {
 	emitPlan := flag.String("emit-plan", "", "write this shard's serialized query plan here instead of executing it")
 	fromPlan := flag.String("from-plan", "", "execute a serialized shard plan file (validates backend tag and seed; requires -emit)")
 	merge := flag.String("merge", "", "comma-separated shard result files to merge and render (no backend is built)")
+	allowPartial := flag.Bool("allow-partial", false, "merge whatever shards are present, report the missing shards/cells to stderr, and exit 0 (default: missing shards are an error)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -159,14 +171,25 @@ func main() {
 	if *merge != "" {
 		rejectNonCellMerge(*experiment) // before any file work
 		paths := strings.Split(*merge, ",")
-		h, rs, m, err := core.HarnessFromShards(paths, sweep)
+		h, rs, m, missingShards, err := core.HarnessFromShardsPartial(paths, sweep)
 		if err != nil {
 			fail("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "merged %d shards (backend %q, seed %d): %d cells\n",
-			m.Shards, m.Backend, m.Seed, rs.Len())
+		if len(missingShards) > 0 && !*allowPartial {
+			fail("shard %d of %d missing (its cells are unserved); rerun it, or pass -allow-partial to render what is here",
+				missingShards[0], m.Shards)
+		}
+		fmt.Fprintf(os.Stderr, "merged %d of %d shards (backend %q, seed %d): %d cells\n",
+			m.Shards-len(missingShards), m.Shards, m.Backend, m.Seed, rs.Len())
 		renderExperiments(h, *experiment, true)
-		if missing := rs.Missing(); len(missing) > 0 {
+		missing := rs.Missing()
+		if len(missingShards) > 0 {
+			// Deterministic partial report: which shards are absent and
+			// exactly which cells their absence left uncovered.
+			fmt.Fprintf(os.Stderr, "PARTIAL merge: missing shard(s) %v\n", missingShards)
+			sort.Slice(missing, func(i, j int) bool { return missing[i].Less(missing[j]) })
+		}
+		if len(missing) > 0 {
 			for i, c := range missing {
 				if i == 8 {
 					fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(missing)-8)
@@ -174,7 +197,10 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "  missing cell %+v\n", c)
 			}
-			fail("merged shards do not cover %d cell(s) of the requested artifacts", len(missing))
+			if !*allowPartial {
+				fail("merged shards do not cover %d cell(s) of the requested artifacts", len(missing))
+			}
+			fmt.Fprintf(os.Stderr, "rendered with %d cell(s) missing (zeros in their place)\n", len(missing))
 		}
 		return
 	}
@@ -205,15 +231,21 @@ func main() {
 	}
 
 	if sharded {
+		// SIGINT/SIGTERM cancel the evaluation pool promptly — in-flight
+		// work stops and no partial result file appears, so a supervising
+		// coordinator (or an impatient operator) can kill a worker without
+		// leaving state a later merge could trip over.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		exps := []string{*experiment}
 		switch {
 		case *fromPlan != "":
-			err = fw.RunPlanFile(*fromPlan, *emit)
+			err = fw.RunPlanFileCtx(ctx, *fromPlan, *emit)
 		case *emitPlan != "":
 			err = fw.WriteShardPlan(*emitPlan, exps, *shard, *shards)
 		default:
-			err = fw.WriteShard(*emit, exps, *shard, *shards)
+			err = fw.WriteShardCtx(ctx, *emit, exps, *shard, *shards)
 		}
+		stop()
 		if err != nil {
 			stopCPU()
 			fail("%v", err)

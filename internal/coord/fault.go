@@ -1,0 +1,202 @@
+package coord
+
+// Deterministic fault injection: every failure mode the supervisor must
+// survive — worker crash, hang past the attempt timeout, truncated result
+// file, corrupted result line — is expressible as a (shard, attempt)
+// entry in a FaultPlan, so each recovery path is an ordinary table-driven
+// test instead of a flaky kill-the-process race. The FaultyLauncher sits
+// between the supervisor and any real launcher, which means the injected
+// faults exercise exactly the production retry/validation machinery.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// FaultKind names one injected failure mode.
+type FaultKind int
+
+const (
+	// FaultNone: no injection; the attempt runs normally.
+	FaultNone FaultKind = iota
+	// FaultCrash: the worker dies instantly without producing output.
+	FaultCrash
+	// FaultHang: the worker wedges until its context is canceled — the
+	// shape a lost NFS mount or a deadlocked process presents to a
+	// supervisor, reaped only by the attempt timeout.
+	FaultHang
+	// FaultTruncate: the worker "succeeds" but its result file is cut off
+	// mid-line, as a crash between flush and fsync would leave it.
+	FaultTruncate
+	// FaultCorrupt: the worker "succeeds" but one result line is garbage.
+	FaultCorrupt
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultHang:
+		return "hang"
+	case FaultTruncate:
+		return "truncate"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// AnyAttempt in FaultPlan.Add matches every attempt of the shard — a
+// persistently failing shard, for exercising retry exhaustion.
+const AnyAttempt = -1
+
+// FaultPlan maps (shard, attempt) coordinates to injected failures.
+type FaultPlan struct {
+	exact map[[2]int]FaultKind
+	any   map[int]FaultKind // shard -> kind, every attempt
+}
+
+// NewFaultPlan returns an empty plan (which injects nothing).
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{exact: map[[2]int]FaultKind{}, any: map[int]FaultKind{}}
+}
+
+// Add schedules kind for the shard's attempt (1-based), or for every
+// attempt when attempt is AnyAttempt. Returns the plan for chaining.
+func (p *FaultPlan) Add(shard, attempt int, kind FaultKind) *FaultPlan {
+	if attempt == AnyAttempt {
+		p.any[shard] = kind
+	} else {
+		p.exact[[2]int{shard, attempt}] = kind
+	}
+	return p
+}
+
+// Lookup returns the fault scheduled for (shard, attempt), FaultNone if
+// none. An exact entry wins over an every-attempt entry.
+func (p *FaultPlan) Lookup(shard, attempt int) FaultKind {
+	if p == nil {
+		return FaultNone
+	}
+	if k, ok := p.exact[[2]int{shard, attempt}]; ok {
+		return k
+	}
+	if k, ok := p.any[shard]; ok {
+		return k
+	}
+	return FaultNone
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || (len(p.exact) == 0 && len(p.any) == 0)
+}
+
+// ParseFaultPlan parses a comma-separated spec of kind:shard:attempt
+// entries — e.g. "crash:1:1,truncate:3:1,hang:2:*" — the CLI surface of
+// the harness ("*" means every attempt).
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	p := NewFaultPlan()
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	kinds := map[string]FaultKind{
+		"crash": FaultCrash, "hang": FaultHang,
+		"truncate": FaultTruncate, "corrupt": FaultCorrupt,
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("coord: fault entry %q, want kind:shard:attempt", entry)
+		}
+		kind, ok := kinds[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("coord: unknown fault kind %q (have crash, hang, truncate, corrupt)", parts[0])
+		}
+		shard, err := strconv.Atoi(parts[1])
+		if err != nil || shard < 0 {
+			return nil, fmt.Errorf("coord: fault entry %q: bad shard index", entry)
+		}
+		attempt := AnyAttempt
+		if parts[2] != "*" {
+			attempt, err = strconv.Atoi(parts[2])
+			if err != nil || attempt < 1 {
+				return nil, fmt.Errorf("coord: fault entry %q: bad attempt number (1-based, or *)", entry)
+			}
+		}
+		p.Add(shard, attempt, kind)
+	}
+	return p, nil
+}
+
+// FaultyLauncher injects a FaultPlan's failures around an inner launcher.
+// Crash and hang replace the attempt entirely; truncate and corrupt run
+// the real attempt first and then damage its output file, so the
+// supervisor's decode validation — not the launcher's error path — must
+// catch them.
+type FaultyLauncher struct {
+	Inner Launcher
+	Plan  *FaultPlan
+}
+
+func (l *FaultyLauncher) Launch(ctx context.Context, a Attempt) error {
+	switch l.Plan.Lookup(a.Shard, a.Attempt) {
+	case FaultCrash:
+		return fmt.Errorf("coord: injected crash (shard %d attempt %d)", a.Shard, a.Attempt)
+	case FaultHang:
+		<-ctx.Done()
+		return ctx.Err()
+	case FaultTruncate:
+		if err := l.Inner.Launch(ctx, a); err != nil {
+			return err
+		}
+		return truncateMidLine(a.OutPath)
+	case FaultCorrupt:
+		if err := l.Inner.Launch(ctx, a); err != nil {
+			return err
+		}
+		return corruptLastLine(a.OutPath)
+	}
+	return l.Inner.Launch(ctx, a)
+}
+
+// truncateMidLine cuts the file two bytes short: the trailing newline and
+// the last byte of the final line — exactly the shape of a write that
+// died between flush and fsync.
+func truncateMidLine(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.Size() < 2 {
+		return fmt.Errorf("coord: %s too small to truncate", path)
+	}
+	return os.Truncate(path, fi.Size()-2)
+}
+
+// corruptLastLine overwrites the first byte of the file's last non-empty
+// line, turning one JSONL record into garbage while leaving the line
+// count (and therefore the header's cell count) intact.
+func corruptLastLine(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	i := len(data) - 1
+	for i >= 0 && (data[i] == '\n' || data[i] == '\r') {
+		i--
+	}
+	for i > 0 && data[i-1] != '\n' {
+		i--
+	}
+	if i < 0 || i >= len(data) {
+		return fmt.Errorf("coord: %s has no line to corrupt", path)
+	}
+	data[i] = '#'
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,114 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Attempt identifies one try at one shard: which shard, which 1-based
+// attempt number, which worker slot it runs on, and where it must read
+// its plan and write its (attempt-unique) result file. OutPath is
+// attempt-unique so speculative duplicates of a straggler can never
+// trample each other; the supervisor renames the winner into place.
+type Attempt struct {
+	Shard    int
+	Attempt  int
+	Slot     int
+	PlanPath string
+	OutPath  string
+}
+
+// Launcher runs one shard attempt to completion: execute the plan at
+// PlanPath and leave a complete wire results file at OutPath. A launcher
+// must honor ctx — the supervisor cancels attempts on timeout, shutdown,
+// and when a speculative sibling wins — and must be safe for concurrent
+// use from every worker slot. Returning nil does not mean the shard is
+// done: the supervisor independently decode-validates OutPath before a
+// result counts, so a launcher that lies (or a worker that crashed after
+// its exit status was lost) is caught the same way as a truncated file.
+type Launcher interface {
+	Launch(ctx context.Context, a Attempt) error
+}
+
+// FrameworkLauncher runs attempts in-process against one shared
+// Framework — the zero-setup path for single-machine supervised runs and
+// the deterministic substrate of the fault-injection tests. The
+// Framework's plan-file validation (backend tag, seed) applies to every
+// attempt exactly as it would to a remote worker.
+type FrameworkLauncher struct {
+	FW *core.Framework
+}
+
+func (l *FrameworkLauncher) Launch(ctx context.Context, a Attempt) error {
+	return l.FW.RunPlanFileCtx(ctx, a.PlanPath, a.OutPath)
+}
+
+// ProcLauncher runs each attempt as a worker subprocess — `vgen-eval
+// -from-plan` or `vgen-coord` in worker mode — so a worker crash, OOM
+// kill, or hang is isolated from the coordinator. Cancellation kills the
+// process group leader via exec.CommandContext.
+type ProcLauncher struct {
+	// Argv builds the full worker command line for one attempt; the
+	// command must read a.PlanPath and write its results to a.OutPath.
+	Argv func(a Attempt) []string
+}
+
+// stderrTailCap bounds how much worker stderr is retained for error
+// reporting; a worker that floods stderr must not balloon the
+// coordinator's memory.
+const stderrTailCap = 4 << 10
+
+// tailWriter keeps the last cap bytes written through it.
+type tailWriter struct {
+	buf bytes.Buffer
+	cap int
+}
+
+func (w *tailWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if n >= w.cap {
+		w.buf.Reset()
+		p = p[n-w.cap:]
+	}
+	w.buf.Write(p)
+	if over := w.buf.Len() - w.cap; over > 0 {
+		w.buf.Next(over)
+	}
+	return n, nil
+}
+
+func (l *ProcLauncher) Launch(ctx context.Context, a Attempt) error {
+	argv := l.Argv(a)
+	if len(argv) == 0 {
+		return fmt.Errorf("coord: ProcLauncher.Argv returned an empty command")
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	tail := &tailWriter{cap: stderrTailCap}
+	cmd.Stdout = io.Discard
+	cmd.Stderr = tail
+	// A killed worker's surviving children must not wedge the slot: kill
+	// the whole process group on cancellation, and give up on their pipe
+	// ends shortly after rather than waiting for orphans to exit.
+	isolateProcessGroup(cmd)
+	cmd.WaitDelay = 5 * time.Second
+	if err := cmd.Run(); err != nil {
+		// ctx expiry (timeout, steal supersession, shutdown) beats the
+		// kill-induced exit status as the diagnostic.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		msg := strings.TrimSpace(tail.buf.String())
+		if msg != "" {
+			return fmt.Errorf("coord: worker %v: %w: %s", argv, err, msg)
+		}
+		return fmt.Errorf("coord: worker %v: %w", argv, err)
+	}
+	return nil
+}

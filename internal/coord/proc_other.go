@@ -1,0 +1,9 @@
+//go:build !unix
+
+package coord
+
+import "os/exec"
+
+// isolateProcessGroup is a no-op without unix process groups; WaitDelay
+// still bounds how long a canceled attempt can hold its slot.
+func isolateProcessGroup(cmd *exec.Cmd) {}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package coord
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// isolateProcessGroup makes the worker its own process group leader and
+// arranges cancellation to kill the whole group. Without this, killing a
+// shell-wrapped worker leaves its children alive — and, worse, holding
+// the coordinator's stderr pipe open, which wedges the slot in Wait
+// until the orphan exits on its own.
+func isolateProcessGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.Cancel = func() error {
+		if cmd.Process == nil {
+			return nil
+		}
+		return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -118,6 +122,63 @@ func TestBackendSelectionAndRecordReplay(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("Backends() = %v, missing mutant", Backends())
+	}
+}
+
+// TestWriteFileAtomic pins the crash-safety contract of every shard
+// artifact: the payload lands under the final name only complete — a
+// failed write leaves neither the target nor a lingering temp file.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+
+	boom := errors.New("disk on fire")
+	if err := writeFile(path, func(*os.File) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("writeFile error = %v, want %v", err, boom)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed write left %v behind", ents)
+	}
+
+	if err := writeFile(path, func(f *os.File) error {
+		_, err := fmt.Fprintln(f, "payload")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ = os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != "out.jsonl" {
+		t.Fatalf("successful write left %v, want exactly out.jsonl", ents)
+	}
+}
+
+// TestRunPlanFileCtxCancellation: a canceled worker must return the
+// context's error and leave no result file (nor a temp) behind — the
+// invariant that lets a coordinator treat "file exists and validates" as
+// "shard done".
+func TestRunPlanFileCtxCancellation(t *testing.T) {
+	fw, err := New(Config{Seed: 11, Backend: "mutant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.jsonl")
+	if err := fw.WriteShardPlan(planPath, []string{"table3"}, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outPath := filepath.Join(dir, "out.jsonl")
+	if err := fw.RunPlanFileCtx(ctx, planPath, outPath); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled RunPlanFileCtx returned %v", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != "plan.jsonl" {
+		t.Fatalf("canceled run left %v, want only plan.jsonl", ents)
 	}
 }
 

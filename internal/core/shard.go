@@ -10,8 +10,10 @@ package core
 // execution".
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/eval"
 	"repro/internal/harness"
@@ -45,11 +47,17 @@ func (f *Framework) ShardPlan(experiments []string, shard, shards int) (*eval.Pl
 
 // ExecuteShard evaluates shard i of n of the experiments' plan.
 func (f *Framework) ExecuteShard(experiments []string, shard, shards int) (*eval.ResultSet, wire.Meta, error) {
+	return f.ExecuteShardCtx(context.Background(), experiments, shard, shards)
+}
+
+// ExecuteShardCtx is ExecuteShard under a context; cancellation stops
+// the evaluation pool promptly.
+func (f *Framework) ExecuteShardCtx(ctx context.Context, experiments []string, shard, shards int) (*eval.ResultSet, wire.Meta, error) {
 	plan, m, err := f.ShardPlan(experiments, shard, shards)
 	if err != nil {
 		return nil, wire.Meta{}, err
 	}
-	rs, err := f.Runner.RunPlan(plan)
+	rs, err := f.Runner.RunPlanCtx(ctx, plan)
 	if err != nil {
 		return nil, wire.Meta{}, err
 	}
@@ -59,7 +67,13 @@ func (f *Framework) ExecuteShard(experiments []string, shard, shards int) (*eval
 // WriteShard executes one shard and writes its wire result file — the
 // worker side of a distributed sweep.
 func (f *Framework) WriteShard(path string, experiments []string, shard, shards int) error {
-	rs, m, err := f.ExecuteShard(experiments, shard, shards)
+	return f.WriteShardCtx(context.Background(), path, experiments, shard, shards)
+}
+
+// WriteShardCtx is WriteShard under a context: a canceled worker stops
+// promptly and leaves no result file (nor a temp) behind.
+func (f *Framework) WriteShardCtx(ctx context.Context, path string, experiments []string, shard, shards int) error {
+	rs, m, err := f.ExecuteShardCtx(ctx, experiments, shard, shards)
 	if err != nil {
 		return err
 	}
@@ -82,6 +96,13 @@ func (f *Framework) WriteShardPlan(path string, experiments []string, shard, sha
 // configured differently from the coordinator fails loudly instead of
 // producing cells that merge into a subtly wrong table.
 func (f *Framework) RunPlanFile(planPath, outPath string) error {
+	return f.RunPlanFileCtx(context.Background(), planPath, outPath)
+}
+
+// RunPlanFileCtx is RunPlanFile under a context: cancellation stops the
+// evaluation pool promptly and no result file appears — the supervised
+// worker path, where a coordinator reaps timed-out or superseded attempts.
+func (f *Framework) RunPlanFileCtx(ctx context.Context, planPath, outPath string) error {
 	in, err := os.Open(planPath)
 	if err != nil {
 		return err
@@ -101,30 +122,50 @@ func (f *Framework) RunPlanFile(planPath, outPath string) error {
 	if err != nil {
 		return err
 	}
-	rs, err := f.Runner.RunPlan(plan)
+	rs, err := f.Runner.RunPlanCtx(ctx, plan)
 	if err != nil {
 		return err
 	}
 	return writeFile(outPath, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
 }
 
-// MergeShardFiles reads and merges shard result files, in any order,
-// enforcing the wire package's completeness and identity checks.
-func MergeShardFiles(paths []string) (*eval.ResultSet, wire.Meta, error) {
+// readShardFiles decodes shard result files, validating each as it loads.
+func readShardFiles(paths []string) ([]wire.Shard, error) {
 	shards := make([]wire.Shard, 0, len(paths))
 	for _, path := range paths {
 		in, err := os.Open(path)
 		if err != nil {
-			return nil, wire.Meta{}, err
+			return nil, err
 		}
 		sh, err := wire.ReadResults(in)
 		in.Close()
 		if err != nil {
-			return nil, wire.Meta{}, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		shards = append(shards, sh)
 	}
+	return shards, nil
+}
+
+// MergeShardFiles reads and merges shard result files, in any order,
+// enforcing the wire package's completeness and identity checks.
+func MergeShardFiles(paths []string) (*eval.ResultSet, wire.Meta, error) {
+	shards, err := readShardFiles(paths)
+	if err != nil {
+		return nil, wire.Meta{}, err
+	}
 	return wire.Merge(shards)
+}
+
+// MergeShardFilesPartial is MergeShardFiles for a degraded sweep: shard
+// indices with no file are reported (ascending), not refused. Identity
+// mismatches, duplicate shards, and overlapping cells remain errors.
+func MergeShardFilesPartial(paths []string) (*eval.ResultSet, wire.Meta, []int, error) {
+	shards, err := readShardFiles(paths)
+	if err != nil {
+		return nil, wire.Meta{}, nil, err
+	}
+	return wire.MergePartial(shards)
 }
 
 // HarnessFromShards merges shard result files into a render-only harness:
@@ -140,16 +181,42 @@ func HarnessFromShards(paths []string, sweep eval.SweepOptions) (*harness.Harnes
 	return harness.FromResults(rs, sweep), rs, m, nil
 }
 
-// writeFile creates path, runs write, and keeps the first error through
-// close so a full disk is never reported as success.
+// HarnessFromShardsPartial is HarnessFromShards over an incomplete shard
+// set: available shards merge, absent shard indices are returned, and the
+// renderers' ResultSet.Missing accounting reports the uncovered cells.
+func HarnessFromShardsPartial(paths []string, sweep eval.SweepOptions) (*harness.Harness, *eval.ResultSet, wire.Meta, []int, error) {
+	rs, m, missing, err := MergeShardFilesPartial(paths)
+	if err != nil {
+		return nil, nil, wire.Meta{}, nil, err
+	}
+	return harness.FromResults(rs, sweep), rs, m, missing, nil
+}
+
+// writeFile writes path atomically: the payload goes to a unique temp
+// file in the same directory (same filesystem, so the rename is atomic),
+// is fsynced, and only then renamed into place. A crash — worker killed
+// mid-write, full disk, pulled plug — can therefore never leave a
+// half-valid file at path that a later merge reads as a complete shard;
+// the first error through write, sync, and close wins.
 func writeFile(path string, write func(*os.File) error) error {
-	out, err := os.Create(path)
+	out, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := out.Name()
 	err = write(out)
+	if err == nil {
+		err = out.Sync()
+	}
 	if cerr := out.Close(); err == nil {
 		err = cerr
 	}
-	return err
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp) // best effort; the partial temp must not linger
+		return err
+	}
+	return nil
 }

@@ -12,6 +12,7 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -392,6 +393,17 @@ func (r *Runner) Run(q Query) CellStats {
 // plus fixed-order reduction make the returned stats byte-identical to a
 // serial run, including float latency sums.
 func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
+	out, _ := r.EvaluateBatchCtx(context.Background(), qs)
+	return out // a Background context never cancels, so out is never nil
+}
+
+// EvaluateBatchCtx is EvaluateBatch under a context: cancellation stops
+// the pool promptly at work-item granularity — the feeder hands out no
+// further items, every worker goroutine exits, and the call returns
+// ctx.Err() with nil stats rather than a partially reduced batch. This is
+// what lets a coordinator shutdown (or SIGINT) reap an in-flight shard
+// without leaking its pool.
+func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats, error) {
 	type item struct{ qi, si int }
 	keys := make([]gen.Key, len(qs))
 	bases := make([]int64, len(qs))
@@ -418,6 +430,9 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 
 	if w := r.workers(); w <= 1 || len(items) <= 1 {
 		for _, it := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			run(it)
 		}
 	} else {
@@ -435,11 +450,19 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 				}
 			}()
 		}
+	feed:
 		for _, it := range items {
-			ch <- it
+			select {
+			case ch <- it:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(ch)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Deterministic reduction: per-query, in sample-index order, through
@@ -452,7 +475,7 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Temperatures is the paper's sweep set.

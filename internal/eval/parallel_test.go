@@ -1,9 +1,14 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/problems"
 	"repro/internal/vlog"
@@ -105,6 +110,86 @@ func TestConcurrentRunnerStress(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// blockingBackend parks every Complete until released, so a test can
+// cancel a batch with a known number of items in flight and count exactly
+// how much work the pool still performed.
+type blockingBackend struct {
+	release chan struct{}
+	calls   atomic.Int64
+}
+
+func (b *blockingBackend) Complete(gen.Key, *problems.Problem, problems.Level, float64, int, int64) (gen.Sample, bool) {
+	b.calls.Add(1)
+	<-b.release
+	return gen.Sample{Completion: "bogus\n", Latency: 1}, true
+}
+func (b *blockingBackend) Variants() []gen.Key { return nil }
+func (b *blockingBackend) Describe() string    { return "test: blocking backend" }
+
+// TestEvaluateBatchCtxCancelStopsPool pins the shutdown contract a
+// supervising coordinator (and vgen-eval's SIGINT handler) relies on:
+// canceling the context stops the feeder, drains the worker pool without
+// leaking goroutines, and returns ctx's error — with only the handful of
+// items already in flight or buffered ever reaching the backend.
+func TestEvaluateBatchCtxCancelStopsPool(t *testing.T) {
+	b := &blockingBackend{release: make(chan struct{})}
+	r := NewRunner(b, 1)
+	const w = 4
+	r.Workers = w
+	const items = 1000
+	qs := []Query{{
+		Model: model.CodeGen2B, Variant: model.FineTuned,
+		Problem: problems.ByNumber(1), Level: problems.LevelLow, Temperature: 0.1, N: items,
+	}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	var out []CellStats
+	var err error
+	go func() {
+		defer close(done)
+		out, err = r.EvaluateBatchCtx(ctx, qs)
+	}()
+
+	for b.calls.Load() == 0 { // wait until the pool is mid-flight
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(b.release) // let the in-flight completions finish
+	<-done
+
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch returned (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+	// At most the w in-flight items plus the w buffered in the channel may
+	// still run; anything near the full batch means cancellation leaked.
+	if got := b.calls.Load(); got > 3*w {
+		t.Errorf("pool ran %d of %d items after cancellation", got, items)
+	}
+}
+
+// TestEvaluateBatchCtxSerialPreCanceled: the serial path (Workers=1) must
+// honor an already-canceled context before touching the backend at all.
+func TestEvaluateBatchCtxSerialPreCanceled(t *testing.T) {
+	b := &blockingBackend{release: make(chan struct{})}
+	close(b.release)
+	r := NewRunner(b, 1)
+	r.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := r.EvaluateBatchCtx(ctx, []Query{{
+		Model: model.CodeGen2B, Variant: model.FineTuned,
+		Problem: problems.ByNumber(2), Level: problems.LevelLow, Temperature: 0.1, N: 5,
+	}})
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled batch returned (%v, %v)", out, err)
+	}
+	if got := b.calls.Load(); got != 0 {
+		t.Errorf("serial path ran %d items under a pre-canceled context", got)
+	}
 }
 
 // TestSingleParsePerEvaluation pins the single-parse pipeline: after the

@@ -11,6 +11,7 @@ package eval
 // execution".
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -215,11 +216,21 @@ func (r *Runner) Cells(qs []Query) []CellStats { return r.EvaluateBatch(qs) }
 // per-cell stats keyed by coordinate — the payload one shard contributes
 // to a distributed sweep.
 func (r *Runner) RunPlan(p *Plan) (*ResultSet, error) {
+	return r.RunPlanCtx(context.Background(), p)
+}
+
+// RunPlanCtx is RunPlan under a context: cancellation stops the worker
+// pool promptly (see EvaluateBatchCtx) and returns ctx's error instead of
+// a partial result set.
+func (r *Runner) RunPlanCtx(ctx context.Context, p *Plan) (*ResultSet, error) {
 	if err := p.Err(); err != nil {
 		return nil, err
 	}
 	qs := p.Queries()
-	sts := r.EvaluateBatch(qs)
+	sts, err := r.EvaluateBatchCtx(ctx, qs)
+	if err != nil {
+		return nil, err
+	}
 	rs := NewResultSet()
 	for i, q := range qs {
 		if err := rs.Put(q.Coord(), sts[i]); err != nil {

@@ -341,15 +341,32 @@ func ReadResults(r io.Reader) (Shard, error) {
 // returned Meta is the common sweep identity with Shard = -1 (the merged
 // whole is no single shard).
 func Merge(shards []Shard) (*eval.ResultSet, Meta, error) {
+	rs, m, missing, err := MergePartial(shards)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if len(missing) > 0 {
+		return nil, Meta{}, fmt.Errorf("wire: merge: shard %d of %d missing (its cells are unserved)", missing[0], m.Shards)
+	}
+	return rs, m, nil
+}
+
+// MergePartial is Merge for a degraded sweep: shard indices absent from
+// the input are reported (ascending) instead of refused, so a coordinator
+// that exhausted its retries can still assemble every cell that did
+// complete. Everything else — identity agreement, duplicate shards,
+// overlapping cells — stays an error: a partial merge must be an exact
+// subset of the full one, never a differently wrong one.
+func MergePartial(shards []Shard) (*eval.ResultSet, Meta, []int, error) {
 	if len(shards) == 0 {
-		return nil, Meta{}, fmt.Errorf("wire: merge of zero shards")
+		return nil, Meta{}, nil, fmt.Errorf("wire: merge of zero shards")
 	}
 	// File-decoded shards arrive pre-validated via readHeader, but a
 	// programmatically built Meta must not panic the seen allocation or
 	// indexing below — validate every shard before trusting any count.
 	for _, s := range shards {
 		if err := checkMeta(s.Meta); err != nil {
-			return nil, Meta{}, fmt.Errorf("wire: merge: %w", err)
+			return nil, Meta{}, nil, fmt.Errorf("wire: merge: %w", err)
 		}
 	}
 	want := shards[0].Meta
@@ -363,22 +380,23 @@ func Merge(shards []Shard) (*eval.ResultSet, Meta, error) {
 
 	for _, s := range ordered {
 		if s.Backend != want.Backend || s.Seed != want.Seed || s.Shards != want.Shards {
-			return nil, Meta{}, fmt.Errorf(
+			return nil, Meta{}, nil, fmt.Errorf(
 				"wire: merge: shard %d identity (backend %q, seed %d, shards %d) disagrees with (backend %q, seed %d, shards %d)",
 				s.Shard, s.Backend, s.Seed, s.Shards, want.Backend, want.Seed, want.Shards)
 		}
 		if seen[s.Shard] {
-			return nil, Meta{}, fmt.Errorf("wire: merge: shard %d of %d supplied twice", s.Shard, s.Shards)
+			return nil, Meta{}, nil, fmt.Errorf("wire: merge: shard %d of %d supplied twice", s.Shard, s.Shards)
 		}
 		seen[s.Shard] = true
 		if err := merged.Merge(s.Set); err != nil {
-			return nil, Meta{}, fmt.Errorf("wire: merge: shard %d: %w", s.Shard, err)
+			return nil, Meta{}, nil, fmt.Errorf("wire: merge: shard %d: %w", s.Shard, err)
 		}
 	}
+	var missing []int
 	for i, ok := range seen {
 		if !ok {
-			return nil, Meta{}, fmt.Errorf("wire: merge: shard %d of %d missing (its cells are unserved)", i, want.Shards)
+			missing = append(missing, i)
 		}
 	}
-	return merged, Meta{Backend: want.Backend, Seed: want.Seed, Shard: -1, Shards: want.Shards}, nil
+	return merged, Meta{Backend: want.Backend, Seed: want.Seed, Shard: -1, Shards: want.Shards}, missing, nil
 }

@@ -279,6 +279,115 @@ func TestDecodeRejections(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectionErrors pins the decoder's diagnostics for the
+// failure modes a crashed or interrupted worker actually produces —
+// mid-line truncation, a lost header, duplicated cell lines — down to
+// the error text. The coordinator retries on these errors; a vague or
+// wrong message is what a 3 a.m. operator would otherwise debug.
+func TestDecodeRejectionErrors(t *testing.T) {
+	coords := testCoords(3)
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, testMeta(0, 2), testSet(t, coords)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	lines := strings.SplitAfter(strings.TrimSuffix(good, "\n"), "\n") // keep newlines
+	last := lines[len(lines)-1]
+
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string
+	}{
+		{
+			// a write killed mid-line: the tail is not valid JSON
+			name:    "mid-line truncation",
+			input:   strings.TrimSuffix(good, "\n")[:len(good)-len(last)/2],
+			wantErr: "unexpected end of JSON input",
+		},
+		{
+			// a write killed between lines: valid JSONL, wrong cell count
+			name:    "truncation at a line boundary",
+			input:   strings.Join(lines[:len(lines)-1], ""),
+			wantErr: "declare 3 cells, file holds 2 (truncated?)",
+		},
+		{
+			// concatenation bug or seek-to-wrong-offset: body without
+			// header; the first cell line carries no version field, so the
+			// version gate trips before the kind gate
+			name:    "missing header",
+			input:   strings.Join(lines[1:], ""),
+			wantErr: "schema version 0, this build reads 1",
+		},
+		{
+			name:    "empty file",
+			input:   "",
+			wantErr: "empty input, want a results header",
+		},
+		{
+			// duplicated cell line (e.g. a retried append instead of a
+			// rewrite): must name the cell, not just fail
+			name:    "duplicate cell line",
+			input:   good + last,
+			wantErr: "duplicate result cell",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadResults(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestMergePartial exercises the degraded-sweep merge: missing shards are
+// reported, not refused; everything else stays as strict as Merge.
+func TestMergePartial(t *testing.T) {
+	coords := testCoords(8)
+	shard := func(i, n int, cs []eval.Coord) Shard {
+		return Shard{Meta: testMeta(i, n), Set: testSet(t, cs)}
+	}
+
+	rs, m, missing, err := MergePartial([]Shard{shard(0, 4, coords[:3]), shard(2, 4, coords[3:6])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 3}; len(missing) != 2 || missing[0] != want[0] || missing[1] != want[1] {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	if rs.Len() != 6 || m.Shards != 4 || m.Shard != -1 {
+		t.Fatalf("merged %d cells, meta %+v", rs.Len(), m)
+	}
+
+	// Complete input: no missing shards, same result as Merge.
+	_, _, missing, err = MergePartial([]Shard{shard(0, 2, coords[:3]), shard(1, 2, coords[3:6])})
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("complete merge: missing %v, err %v", missing, err)
+	}
+
+	// Strictness survives: identity disagreement, duplicate shard index,
+	// overlapping cells, zero shards.
+	other := shard(1, 4, coords[3:6])
+	other.Seed = 7
+	if _, _, _, err := MergePartial([]Shard{shard(0, 4, coords[:3]), other}); err == nil {
+		t.Error("identity disagreement accepted")
+	}
+	if _, _, _, err := MergePartial([]Shard{shard(0, 4, coords[:3]), shard(0, 4, coords[3:6])}); err == nil {
+		t.Error("duplicate shard index accepted")
+	}
+	if _, _, _, err := MergePartial([]Shard{shard(0, 4, coords[:3]), shard(1, 4, coords[:3])}); err == nil {
+		t.Error("overlapping cells accepted")
+	}
+	if _, _, _, err := MergePartial(nil); err == nil {
+		t.Error("zero shards accepted")
+	}
+}
+
 // FuzzResultsRoundTrip asserts decode never panics on arbitrary input,
 // and that accepted input reaches a canonical fixed point: one
 // decode+encode canonicalizes, after which Encode(Decode(x)) == x.
