@@ -7,7 +7,7 @@ DATE := $(shell date +%Y%m%d)
 # file, so bench-compare always has a baseline to diff against
 BENCHFILE := $(shell f=BENCH_$(DATE).json; i=2; while [ -e $$f ]; do f=BENCH_$(DATE).$$i.json; i=$$((i+1)); done; echo $$f)
 
-.PHONY: all build vet test race bench bench-compare shard-check coord-check clean
+.PHONY: all build vet check test race bench bench-compare shard-check coord-check clean
 
 all: build test
 
@@ -17,15 +17,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+# check runs the project analyzers (cmd/vgen-check): map-order leaks,
+# nondeterminism sources, non-durable artifact writes, severed context
+# chains, and CellStats merge bypasses. Exit is non-zero on any finding
+# or unexplained suppression.
+check:
+	$(GO) run ./cmd/vgen-check ./...
+
+test: vet check
 	$(GO) test ./...
 
 # race-checks the packages with concurrency: the parallel evaluation
-# engine, the model family it drives, the generation-backend layer, and
-# the sweep coordinator (whose fault-injection suite exercises every
-# supervision path).
+# engine, the model family it drives, the generation-backend layer, the
+# sweep coordinator (whose fault-injection suite exercises every
+# supervision path), and the analyzer driver (loads packages from many
+# golden trees).
 race:
-	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/... ./internal/coord/...
+	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/... ./internal/coord/... ./internal/goanalysis/...
 
 # -json emits the test2json stream (one JSON object per line) including
 # every Benchmark output line, so the file is grep- and jq-friendly.

@@ -137,6 +137,7 @@ func Train(corpus []string, vocabSize int) *Tokenizer {
 		}
 		best := uint64(0)
 		bestCount := 0
+		//vgencheck:ordered argmax with a total tie-break on (count, token-pair strings) picks the same winner in any iteration order
 		for k, c := range counts {
 			if c > bestCount || (c == bestCount && lessID(k, best)) {
 				best, bestCount = k, c
@@ -163,6 +164,11 @@ func Train(corpus []string, vocabSize int) *Tokenizer {
 		for idx := range occurs[best] {
 			touched = append(touched, idx)
 		}
+		// The count/occurrence updates below are commutative, so rewrite
+		// order cannot change the trained result — but sorted order keeps
+		// the intermediate count states identical run to run, which is
+		// what the incremental-vs-naive differential test diffs against.
+		sort.Ints(touched)
 		for _, idx := range touched {
 			removeWord(idx)
 			words[idx].parts = mergePairInPlace(words[idx].parts, best, int32(id))

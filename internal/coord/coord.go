@@ -418,6 +418,7 @@ func (s *supervisor) run(ctx context.Context) (*Result, error) {
 
 func (s *supervisor) cancelAll() {
 	for _, sh := range s.shards {
+		//vgencheck:ordered canceling every attempt context; cancellation is idempotent and order-free
 		for _, cancel := range sh.cancels {
 			cancel()
 		}
@@ -545,7 +546,8 @@ func (s *supervisor) handle(r attemptDone) {
 		} else {
 			sh.state = stateDone
 			slot.fails = 0
-			for _, cancel := range sh.cancels { // reap speculative siblings
+			//vgencheck:ordered reaping speculative siblings; cancellation is idempotent and order-free
+			for _, cancel := range sh.cancels {
 				cancel()
 			}
 			s.emit(Event{Kind: EventDone, Shard: sh.idx, Attempt: r.a.Attempt, Slot: r.a.Slot})
@@ -663,27 +665,13 @@ func validateResultFile(path string, want wire.Meta, coords []eval.Coord) error 
 	return nil
 }
 
-// writePlanFile serializes one shard plan atomically (temp + fsync +
-// rename), mirroring the result files' crash-safety.
+// writePlanFile serializes one shard plan through the single durable
+// write path (core.WriteFileAtomic: temp + fsync + rename), mirroring
+// the result files' crash-safety. It used to carry its own copy of the
+// atomic-write dance; the goanalysis durables pass flagged the
+// duplication when WriteFileAtomic was still unexported.
 func writePlanFile(path string, m wire.Meta, coords []eval.Coord) error {
-	out, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := out.Name()
-	err = wire.WritePlan(out, m, coords)
-	if err == nil {
-		err = out.Sync()
-	}
-	if cerr := out.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return core.WriteFileAtomic(path, func(out *os.File) error {
+		return wire.WritePlan(out, m, coords)
+	})
 }

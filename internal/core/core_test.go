@@ -133,8 +133,8 @@ func TestWriteFileAtomic(t *testing.T) {
 	path := filepath.Join(dir, "out.jsonl")
 
 	boom := errors.New("disk on fire")
-	if err := writeFile(path, func(*os.File) error { return boom }); !errors.Is(err, boom) {
-		t.Fatalf("writeFile error = %v, want %v", err, boom)
+	if err := WriteFileAtomic(path, func(*os.File) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("WriteFileAtomic error = %v, want %v", err, boom)
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -144,7 +144,7 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Fatalf("failed write left %v behind", ents)
 	}
 
-	if err := writeFile(path, func(f *os.File) error {
+	if err := WriteFileAtomic(path, func(f *os.File) error {
 		_, err := fmt.Fprintln(f, "payload")
 		return err
 	}); err != nil {

@@ -77,7 +77,7 @@ func (f *Framework) WriteShardCtx(ctx context.Context, path string, experiments 
 	if err != nil {
 		return err
 	}
-	return writeFile(path, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
+	return WriteFileAtomic(path, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
 }
 
 // WriteShardPlan serializes one shard's plan without executing it — the
@@ -87,7 +87,7 @@ func (f *Framework) WriteShardPlan(path string, experiments []string, shard, sha
 	if err != nil {
 		return err
 	}
-	return writeFile(path, func(out *os.File) error { return wire.WritePlan(out, m, plan.Coords()) })
+	return WriteFileAtomic(path, func(out *os.File) error { return wire.WritePlan(out, m, plan.Coords()) })
 }
 
 // RunPlanFile executes a serialized shard plan against this framework's
@@ -126,7 +126,7 @@ func (f *Framework) RunPlanFileCtx(ctx context.Context, planPath, outPath string
 	if err != nil {
 		return err
 	}
-	return writeFile(outPath, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
+	return WriteFileAtomic(outPath, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
 }
 
 // readShardFiles decodes shard result files, validating each as it loads.
@@ -192,13 +192,17 @@ func HarnessFromShardsPartial(paths []string, sweep eval.SweepOptions) (*harness
 	return harness.FromResults(rs, sweep), rs, m, missing, nil
 }
 
-// writeFile writes path atomically: the payload goes to a unique temp
+// WriteFileAtomic writes path atomically: the payload goes to a unique temp
 // file in the same directory (same filesystem, so the rename is atomic),
 // is fsynced, and only then renamed into place. A crash — worker killed
 // mid-write, full disk, pulled plug — can therefore never leave a
 // half-valid file at path that a later merge reads as a complete shard;
 // the first error through write, sync, and close wins.
-func writeFile(path string, write func(*os.File) error) error {
+//
+// This is the single durable write path for wire/shard artifacts, and
+// the goanalysis durables pass enforces that: a write-opened handle fed
+// straight to wire.WriteResults/WritePlan is a vgen-check finding.
+func WriteFileAtomic(path string, write func(*os.File) error) error {
 	out, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err

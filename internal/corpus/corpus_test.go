@@ -180,3 +180,38 @@ func TestTrainingText(t *testing.T) {
 		t.Fatalf("training text = %v", tt)
 	}
 }
+
+// TestMinHashInsertionOrderFree backs the //vgencheck:ordered waivers on
+// the Jaccard and Signature reductions: shingle sets built by inserting
+// the same shingles in opposite orders (different map layouts) must
+// produce bit-identical signatures and similarity scores.
+func TestMinHashInsertionOrderFree(t *testing.T) {
+	text := "module adder(input a, input b, output sum); assign sum = a ^ b; endmodule"
+	base := Shingles(text, 3)
+	keys := make([]uint64, 0, len(base))
+	for s := range base {
+		keys = append(keys, s)
+	}
+	fwd := make(ShingleSet, len(keys))
+	rev := make(ShingleSet, len(keys))
+	for _, s := range keys {
+		fwd[s] = true
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		rev[keys[i]] = true
+	}
+	mh := NewMinHash(64)
+	s1, s2 := mh.Signature(fwd), mh.Signature(rev)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("signature slot %d diverged: %x vs %x", i, s1[i], s2[i])
+		}
+	}
+	other := Shingles("always @(posedge clk) q <= d;", 3)
+	if Jaccard(fwd, other) != Jaccard(rev, other) {
+		t.Fatal("Jaccard depends on shingle insertion order")
+	}
+	if Jaccard(fwd, other) != Jaccard(other, fwd) {
+		t.Fatal("Jaccard is not symmetric")
+	}
+}

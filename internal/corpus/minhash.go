@@ -53,6 +53,7 @@ func Jaccard(a, b ShingleSet) float64 {
 	if len(b) < len(a) {
 		small, large = b, a
 	}
+	//vgencheck:ordered intersection counting; integer increments are commutative, so the count is order-free
 	for s := range small {
 		if large[s] {
 			inter++
@@ -98,6 +99,7 @@ func (m *MinHash) Signature(set ShingleSet) []uint64 {
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
+	//vgencheck:ordered per-lane minimum reduction; min is commutative and associative, so the signature is order-free
 	for s := range set {
 		for i, seed := range m.seeds {
 			h := mix(s ^ seed)

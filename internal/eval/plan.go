@@ -309,15 +309,18 @@ func (s *ResultSet) Coords() []Coord {
 // Merge pools another result set into this one, rejecting overlapping
 // cells. Because each cell arrives whole from exactly one shard, merging
 // is pure map union — no float addition spans shards — so the merged set
-// is independent of merge order.
+// is independent of merge order. Iteration goes through the sorted
+// Coords so the duplicate named on error is deterministic too, not
+// whichever overlap map order surfaced first.
 func (s *ResultSet) Merge(o *ResultSet) error {
-	for c := range o.m {
+	coords := o.Coords()
+	for _, c := range coords {
 		if _, dup := s.m[c]; dup {
 			return fmt.Errorf("eval: merge: cell %+v present in both result sets", c)
 		}
 	}
-	for c, st := range o.m {
-		s.m[c] = st
+	for _, c := range coords {
+		s.m[c] = o.m[c]
 	}
 	return nil
 }

@@ -98,6 +98,7 @@ func NewReplay(r io.Reader) (*Replay, error) {
 // not produce shard files that merge silently into one table.
 func (r *Replay) contentDigest() uint64 {
 	var sum uint64
+	//vgencheck:ordered wrapping uint64 add of per-entry hashes; the digest is order-independent by construction
 	for k, s := range r.samples {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d\x00%d\x00%s\x00%s\x00%b",

@@ -1,0 +1,66 @@
+package goanalysis
+
+// ctxflow: the PR-6 cancellation invariant. The eval worker pool and the
+// coord supervisor must stay reapable — a coordinator shutdown or SIGINT
+// has to stop every spawned goroutine promptly. Concretely: a function in
+// eval/coord that spawns goroutines must receive a context.Context; a
+// context parameter goes first (after the receiver), matching the
+// EvaluateBatchCtx/RunPlanCtx/Launch convention; and a function that was
+// handed a ctx must plumb it, not mint context.Background()/TODO() —
+// fresh roots sever the cancellation chain. Ctx-less convenience
+// delegates (EvaluateBatch → EvaluateBatchCtx(context.Background(), …))
+// stay legal: they spawn nothing themselves and have no ctx to drop.
+
+import (
+	"go/ast"
+)
+
+// Ctxflow enforces context threading in the concurrent packages.
+func Ctxflow() *Analyzer {
+	return &Analyzer{
+		Name:      "ctxflow",
+		Doc:       "goroutine spawn without a context parameter, ctx not first, or ctx shadowed by context.Background",
+		Directive: "ctxflow",
+		Packages:  []string{"eval", "coord"},
+		Run:       runCtxflow,
+	}
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.TypesInfo
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		ctxIndex := -1
+		for i, field := range fd.Type.Params.List {
+			if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+				ctxIndex = i
+				break
+			}
+		}
+		if ctxIndex > 0 {
+			pass.Reportf(fd.Type.Params.List[ctxIndex].Pos(),
+				"%s takes a context.Context but not as its first parameter; the cancellation convention is ctx first", fd.Name.Name)
+		}
+
+		spawns := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				spawns = true
+			case *ast.CallExpr:
+				if ctxIndex < 0 {
+					return true
+				}
+				fn := calleeFunc(info, n)
+				if isPkgFunc(fn, "context", "Background", "TODO") {
+					pass.Reportf(n.Pos(),
+						"%s receives a ctx but mints context.%s; plumb the parameter so cancellation reaches this path", fd.Name.Name, fn.Name())
+				}
+			}
+			return true
+		})
+		if spawns && ctxIndex < 0 {
+			pass.Reportf(fd.Name.Pos(),
+				"%s spawns goroutines without accepting a context.Context; a coordinator shutdown cannot reap them", fd.Name.Name)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package goanalysis
+
+// durables: crash-safety for wire/shard artifacts. PR 6 made
+// core.WriteFileAtomic (temp + fsync + rename) the single durable write
+// path, so a file a merge or a resuming coordinator might read can never
+// be half-written. This analyzer keeps it that way intraprocedurally:
+// a handle opened for writing in the same function may not be handed
+// straight to wire.WriteResults/wire.WritePlan (that's a torn-write
+// window), and write-handle Close/Sync error returns may not be
+// discarded (a swallowed close error is a silently truncated artifact).
+// Handles that arrive as parameters are exempt — that is exactly the
+// shape WriteFileAtomic hands its payload callback.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Durables flags direct (non-atomic) wire artifact writes and discarded
+// Close/Sync errors on write handles.
+func Durables() *Analyzer {
+	return &Analyzer{
+		Name:      "durables",
+		Doc:       "wire artifact written without core.WriteFileAtomic, or write-handle Close/Sync error discarded",
+		Directive: "durables",
+		Packages:  outputBearing,
+		Run:       runDurables,
+	}
+}
+
+func runDurables(pass *Pass) {
+	info := pass.TypesInfo
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		writeHandles := map[types.Object]bool{}
+
+		// Pass 1: collect write-opened handles and one-hop wrappers
+		// (bufio.NewWriter(f) etc. of a tainted handle is tainted too).
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				tainted := false
+				if isPkgFunc(calleeFunc(info, call), "os", "Create", "OpenFile", "CreateTemp") {
+					tainted = true
+				} else {
+					for _, arg := range call.Args {
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok && writeHandles[idObject(info, id)] {
+							tainted = true
+						}
+					}
+				}
+				if !tainted {
+					continue
+				}
+				// os.Create and friends multi-assign (f, err :=); taint
+				// the first assignable left-hand side.
+				lhs := as.Lhs
+				if len(as.Rhs) == len(as.Lhs) {
+					lhs = as.Lhs[i : i+1]
+				}
+				for _, l := range lhs {
+					id, ok := ast.Unparen(l).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if obj := idObject(info, id); obj != nil && !isErrorType(obj.Type()) {
+						writeHandles[obj] = true
+						break
+					}
+				}
+			}
+			return true
+		})
+		if len(writeHandles) == 0 {
+			return
+		}
+
+		// Pass 2: flag direct wire writes and discarded Close/Sync.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				reportDiscardedClose(pass, info, n.X, writeHandles, "")
+			case *ast.DeferStmt:
+				reportDiscardedClose(pass, info, n.Call, writeHandles, "defer ")
+			case *ast.GoStmt:
+				reportDiscardedClose(pass, info, n.Call, writeHandles, "go ")
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isBlank(n.Lhs[i]) {
+						reportDiscardedClose(pass, info, rhs, writeHandles, "_ = ")
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if !isWireEmit(fn) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && writeHandles[idObject(info, id)] {
+						pass.Reportf(n.Pos(),
+							"wire.%s writes a shard artifact to a locally opened file; route it through core.WriteFileAtomic so a crash cannot leave a torn file", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isWireEmit matches the wire package's artifact serializers.
+func isWireEmit(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "wire" &&
+		(fn.Name() == "WriteResults" || fn.Name() == "WritePlan")
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// reportDiscardedClose flags expr when it is a Close/Sync call on a
+// write-opened handle whose error result is being dropped.
+func reportDiscardedClose(pass *Pass, info *types.Info, expr ast.Expr, writeHandles map[types.Object]bool, how string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || !writeHandles[idObject(info, id)] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s%s.%s() discards the error on a write handle; a swallowed close/sync error is a silently truncated artifact", how, id.Name, sel.Sel.Name)
+}

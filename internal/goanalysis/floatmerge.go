@@ -1,0 +1,104 @@
+package goanalysis
+
+// floatmerge: CellStats.Add is the single merge path (PR 5). Sample →
+// cell, cell → pooled scenario, shard → sweep all reduce through the same
+// Add, which is what makes a 4-way sharded merge byte-identical to the
+// monolithic run — float summation is order-sensitive, so the order must
+// be fixed in exactly one place. Any direct accumulation into CellStats
+// fields (+=, x.F = x.F + …, ++) outside the Add method itself is a
+// second merge path waiting to drift.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatmerge flags CellStats field accumulation outside CellStats.Add.
+func Floatmerge() *Analyzer {
+	return &Analyzer{
+		Name:      "floatmerge",
+		Doc:       "stat/latency accumulation bypassing CellStats.Add, the single merge path",
+		Directive: "floatmerge",
+		Packages:  outputBearing,
+		Run:       runFloatmerge,
+	}
+}
+
+func runFloatmerge(pass *Pass) {
+	info := pass.TypesInfo
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		if isAddMethod(fd, info) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					for _, lhs := range n.Lhs {
+						if f, ok := cellStatsField(info, lhs); ok {
+							pass.Reportf(n.Pos(),
+								"accumulates into CellStats.%s outside CellStats.Add; every merge must go through Add to keep float reduction order fixed", f)
+						}
+					}
+				case token.ASSIGN:
+					for i, lhs := range n.Lhs {
+						f, ok := cellStatsField(info, lhs)
+						if !ok || i >= len(n.Rhs) {
+							continue
+						}
+						if rhsReadsField(info, n.Rhs[i], f) {
+							pass.Reportf(n.Pos(),
+								"read-modify-write of CellStats.%s outside CellStats.Add; merge through Add instead", f)
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if f, ok := cellStatsField(info, n.X); ok {
+					pass.Reportf(n.Pos(),
+						"increments CellStats.%s outside CellStats.Add; merge a one-observation CellStats through Add instead", f)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isAddMethod reports whether fd is the blessed (c *CellStats) Add.
+func isAddMethod(fd *ast.FuncDecl, info *types.Info) bool {
+	if fd.Name.Name != "Add" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	return t != nil && isNamed(t, "eval", "CellStats")
+}
+
+// cellStatsField returns the field name when expr selects a field of a
+// CellStats value (directly or through a pointer).
+func cellStatsField(info *types.Info, expr ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !isNamed(t, "eval", "CellStats") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// rhsReadsField reports whether the expression reads a field of the same
+// name off a CellStats value — the x.F = x.F + y accumulation shape.
+func rhsReadsField(info *types.Info, rhs ast.Expr, field string) bool {
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			if f, ok := cellStatsField(info, e); ok && f == field {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

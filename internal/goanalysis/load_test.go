@@ -1,0 +1,39 @@
+package goanalysis
+
+import "testing"
+
+func TestMatchPatterns(t *testing.T) {
+	cases := []struct {
+		rel      string
+		patterns []string
+		want     bool
+	}{
+		{"internal/eval", []string{"./..."}, true},
+		{"internal/eval", []string{"..."}, true},
+		{"internal/eval", []string{"./internal/..."}, true},
+		{"internal/eval", []string{"internal/..."}, true},
+		{"internal/eval", []string{"./internal/eval"}, true},
+		{"internal/evaluator", []string{"./internal/eval"}, false},
+		{"internal/evaluator", []string{"./internal/eval/..."}, false},
+		{"cmd/vgen-check", []string{"./internal/..."}, false},
+		{"internal", []string{"internal/..."}, true},
+	}
+	for _, c := range cases {
+		if got := matchPatterns(c.rel, c.patterns); got != c.want {
+			t.Errorf("matchPatterns(%q, %v) = %v, want %v", c.rel, c.patterns, got, c.want)
+		}
+	}
+}
+
+func TestLoadModuleBuildConstraints(t *testing.T) {
+	// coord carries proc_unix.go/proc_other.go behind mutually exclusive
+	// build tags; loading must pick exactly the platform's file or the
+	// package would double-declare and fail the type check.
+	m, err := LoadModule("../..", []string{"./internal/coord"})
+	if err != nil {
+		t.Fatalf("load coord: %v", err)
+	}
+	if len(m.Pkgs) != 1 || m.Pkgs[0].Name != "coord" {
+		t.Fatalf("loaded %+v, want exactly the coord package", m.Pkgs)
+	}
+}

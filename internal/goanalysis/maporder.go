@@ -1,0 +1,170 @@
+package goanalysis
+
+// maporder: map iteration order must never reach rendered output. Go
+// randomizes range-over-map order per run, so any map walk in an
+// output-bearing package is a byte-determinism hazard unless the loop
+// provably neutralizes the order: its body feeds a commutative sink
+// (CellStats.Add, ResultSet.Put — both order-independent merge paths), or
+// it only collects values that the same function then sorts. Anything
+// else needs an audited //vgencheck:ordered <reason> waiver, which the
+// driver inventories.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maporder flags nondeterministic map iteration in output-bearing
+// packages (plus corpus, whose document order feeds tokenizer training).
+func Maporder() *Analyzer {
+	return &Analyzer{
+		Name:      "maporder",
+		Doc:       "range over a map (or maps.Keys) whose order can reach rendered output",
+		Directive: "ordered",
+		Packages:  append([]string{"corpus"}, outputBearing...),
+		Run:       runMaporder,
+	}
+}
+
+func runMaporder(pass *Pass) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		// maps.Keys/maps.Values calls neutralized by an immediate
+		// slices.Sorted* wrap, or consumed by a range statement that the
+		// range logic below judges on its own terms.
+		handled := map[*ast.CallExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(calleeFunc(info, n), "slices",
+					"Sorted", "SortedFunc", "SortedStableFunc") && len(n.Args) > 0 {
+					if inner, ok := ast.Unparen(n.Args[0]).(*ast.CallExpr); ok && isMapsIter(info, inner) {
+						handled[inner] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if inner, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isMapsIter(info, inner) {
+					handled[inner] = true
+				}
+			}
+			return true
+		})
+
+		eachFuncDecl([]*ast.File{file}, func(fd *ast.FuncDecl) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					mapRange := isMapExpr(info, n.X)
+					if inner, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isMapsIter(info, inner) {
+						mapRange = true
+					}
+					if !mapRange {
+						return true
+					}
+					if bodyFeedsCommutativeSink(info, n.Body) || feedsLaterSort(info, fd, n) {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"iterates over a map in an output-bearing package; order is nondeterministic — sort the keys, feed a commutative sink (CellStats.Add / ResultSet.Put), or annotate //vgencheck:ordered <reason>")
+				case *ast.CallExpr:
+					if isMapsIter(info, n) && !handled[n] {
+						pass.Reportf(n.Pos(),
+							"maps.%s yields keys in nondeterministic order; wrap in slices.Sorted (or range with an ordered-safe body)",
+							calleeFunc(info, n).Name())
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// isMapsIter reports a call to maps.Keys or maps.Values (stdlib "maps").
+func isMapsIter(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgFunc(calleeFunc(info, call), "maps", "Keys", "Values")
+}
+
+// bodyFeedsCommutativeSink reports whether the loop body calls one of the
+// order-independent merge paths: CellStats.Add or ResultSet.Put.
+func bodyFeedsCommutativeSink(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if isMethodOn(fn, "eval", "CellStats", "Add") || isMethodOn(fn, "eval", "ResultSet", "Put") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// feedsLaterSort reports whether the loop only accumulates into slices
+// (via append) that the enclosing function sorts after the loop — the
+// collect-then-sort idiom that restores determinism.
+func feedsLaterSort(info *types.Info, fd *ast.FuncDecl, loop *ast.RangeStmt) bool {
+	// Objects appended to inside the loop body.
+	appended := map[types.Object]bool{}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				continue // a user-defined append, not the builtin
+			}
+			if lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := idObject(info, lhs); obj != nil {
+					appended[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 {
+		return false
+	}
+	// A sort call after the loop referencing one of those slices.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if !isPkgFunc(fn, "sort") &&
+			!isPkgFunc(fn, "slices", "Sort", "SortFunc", "SortStableFunc") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && appended[idObject(info, id)] {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// idObject resolves an identifier to its object (use or definition).
+func idObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,24 @@
+// Package core is a structural lookalike of repro/internal/core for the
+// durables golden corpus: WriteFileAtomic hands its payload callback a
+// parameter handle, which is exactly the shape the analyzer exempts.
+package core
+
+import "os"
+
+func WriteFileAtomic(path string, write func(*os.File) error) error {
+	out, err := os.CreateTemp(".", "tmp-*")
+	if err != nil {
+		return err
+	}
+	err = write(out)
+	if err == nil {
+		err = out.Sync()
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(out.Name(), path)
+	}
+	return err
+}

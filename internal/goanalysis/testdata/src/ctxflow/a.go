@@ -1,0 +1,49 @@
+// Golden corpus for the ctxflow analyzer: goroutine spawns with and
+// without a context, parameter-order violations, severed cancellation
+// chains, and the legal ctx-less convenience delegate.
+package ctxflow
+
+import "context"
+
+// Positive: spawns goroutines no shutdown can reap.
+func spawnNoCtx(n int) { // want "spawnNoCtx spawns goroutines without accepting a context.Context"
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+
+// Negative: spawns under a context, ctx first.
+func spawnWithCtx(ctx context.Context, n int) {
+	done := ctx.Done()
+	for i := 0; i < n; i++ {
+		go func() { <-done }()
+	}
+}
+
+// Positive: ctx exists but is not the first parameter.
+func ctxSecond(n int, ctx context.Context) error { // want "ctxSecond takes a context.Context but not as its first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+// Positive: receives a ctx but roots a fresh Background, severing the
+// cancellation chain.
+func minted(ctx context.Context) error {
+	_ = ctx
+	return work(context.Background()) // want "minted receives a ctx but mints context.Background"
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Negative: the convenience-delegate shape — no ctx parameter, no spawn;
+// Background here starts a chain rather than severing one.
+func convenience() error {
+	return work(context.Background())
+}
+
+// Suppressed: explained waiver for a deliberate process-lifetime spawn.
+//
+//vgencheck:ctxflow fire-and-forget metrics flusher; reaped at process exit by design
+func fireAndForget() {
+	go func() {}()
+}

@@ -1,0 +1,91 @@
+// Golden corpus for the durables analyzer: direct (torn-write-window)
+// wire emissions, discarded Close/Sync errors on write handles, and the
+// blessed WriteFileAtomic/read-handle negatives.
+package durables
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"core"
+	"wire"
+)
+
+// Positive ×2: a locally created handle fed straight to a wire
+// serializer, with its Close error thrown away by defer.
+func direct(path string, m wire.Meta, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()                      // want `defer f.Close\(\) discards the error on a write handle`
+	return wire.WriteResults(f, m, data) // want "wire.WriteResults writes a shard artifact to a locally opened file"
+}
+
+// Positive: wrapping the handle in a bufio.Writer does not launder the
+// taint.
+func buffered(path string, m wire.Meta, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	defer f.Close()                   // want `defer f.Close\(\) discards the error on a write handle`
+	return wire.WritePlan(bw, m, data) // want "wire.WritePlan writes a shard artifact to a locally opened file"
+}
+
+// Negative: the blessed path — the handle arrives as the atomic write
+// callback's parameter.
+func atomic(path string, m wire.Meta, data []byte) error {
+	return core.WriteFileAtomic(path, func(out *os.File) error {
+		return wire.WriteResults(out, m, data)
+	})
+}
+
+// Negative: read handles may discard Close errors.
+func readSide(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Negative: Close/Sync errors captured and folded into the return.
+func captured(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Positive ×2: bare and blank-assigned discards on a write handle.
+func discards(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Sync()       // want `f.Sync\(\) discards the error on a write handle`
+	_ = f.Close()  // want `_ = f.Close\(\) discards the error on a write handle`
+}
+
+// Suppressed: explained waiver for a scratch file that never becomes an
+// artifact.
+func scratch(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//vgencheck:durables scratch temp outside any artifact path; content is never read back
+	f.Close()
+}

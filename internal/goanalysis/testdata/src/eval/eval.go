@@ -1,0 +1,30 @@
+// Package eval is a structural lookalike of repro/internal/eval for the
+// golden corpora: the analyzers match project types by (package name,
+// type name), so this package supplies CellStats/ResultSet shapes without
+// dragging the real evaluation engine into testdata type-checking.
+package eval
+
+type CellStats struct {
+	Samples  int
+	Compiled int
+	Passed   int
+	SumLat   float64
+}
+
+// Add pools another cell into this one — the blessed merge path, which
+// floatmerge must exempt.
+func (c *CellStats) Add(o CellStats) {
+	c.Samples += o.Samples
+	c.Compiled += o.Compiled
+	c.Passed += o.Passed
+	c.SumLat += o.SumLat
+}
+
+type Coord struct{ Problem int }
+
+type ResultSet struct{ m map[Coord]CellStats }
+
+func NewResultSet() *ResultSet { return &ResultSet{m: map[Coord]CellStats{}} }
+
+// Put stores one whole cell — a commutative sink for maporder.
+func (s *ResultSet) Put(c Coord, st CellStats) { s.m[c] = st }

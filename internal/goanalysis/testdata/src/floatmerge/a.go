@@ -1,0 +1,45 @@
+// Golden corpus for the floatmerge analyzer: direct CellStats field
+// accumulation (the second-merge-path smell), the blessed Add path, and
+// construction negatives.
+package floatmerge
+
+import "eval"
+
+// Positive ×2: compound accumulation and increment outside Add.
+func pool(cells []eval.CellStats) eval.CellStats {
+	var total eval.CellStats
+	for _, c := range cells {
+		total.SumLat += c.SumLat // want "accumulates into CellStats.SumLat outside CellStats.Add"
+		total.Samples++          // want "increments CellStats.Samples outside CellStats.Add"
+	}
+	return total
+}
+
+// Positive: the read-modify-write spelling of the same bypass.
+func rmw(c *eval.CellStats, o eval.CellStats) {
+	c.Passed = c.Passed + o.Passed // want "read-modify-write of CellStats.Passed outside CellStats.Add"
+}
+
+// Negative: merging through Add, the single merge path.
+func viaAdd(cells []eval.CellStats) eval.CellStats {
+	var total eval.CellStats
+	for _, c := range cells {
+		total.Add(c)
+	}
+	return total
+}
+
+// Negative: constructing a one-observation cell is not accumulation.
+func observation(lat float64, compiled bool) eval.CellStats {
+	st := eval.CellStats{Samples: 1, SumLat: lat}
+	if compiled {
+		st.Compiled = 1
+	}
+	return st
+}
+
+// Suppressed: explained waiver.
+func preseed(c *eval.CellStats) {
+	//vgencheck:floatmerge test-fixture seeding of a local cell that is never merged across shards
+	c.Samples += 1
+}

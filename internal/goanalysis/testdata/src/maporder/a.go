@@ -1,0 +1,112 @@
+// Golden corpus for the maporder analyzer: positive, negative, and
+// suppressed map-iteration cases.
+package maporder
+
+import (
+	"maps"
+	"slices"
+	"sort"
+	"strconv"
+
+	"eval"
+)
+
+// Positive: map order reaches the returned string.
+func renderCounts(counts map[string]int) string {
+	out := ""
+	for k, v := range counts { // want "iterates over a map in an output-bearing package"
+		out += k + strconv.Itoa(v)
+	}
+	return out
+}
+
+// Negative: the loop only collects keys that the function then sorts.
+func sortedKeys(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Negative: collect-then-sort through slices.Sort.
+func sortedValues(counts map[string]int) []int {
+	var vals []int
+	for _, v := range counts {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+// Positive: the slice is appended to but never sorted afterwards.
+func unsortedKeys(counts map[string]int) []string {
+	var keys []string
+	for k := range counts { // want "iterates over a map in an output-bearing package"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Negative: the body feeds the commutative CellStats.Add sink.
+func pooled(cells map[int]eval.CellStats) eval.CellStats {
+	var total eval.CellStats
+	for _, st := range cells {
+		total.Add(st)
+	}
+	return total
+}
+
+// Negative: the body feeds the commutative ResultSet.Put sink.
+func put(rs *eval.ResultSet, cells map[eval.Coord]eval.CellStats) {
+	for c, st := range cells {
+		rs.Put(c, st)
+	}
+}
+
+// Negative: maps.Keys neutralized by an immediate slices.Sorted.
+func keysSorted(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// Positive: maps.Keys escapes without a sort.
+func keysLeaked(m map[string]int) func(func(string) bool) {
+	return maps.Keys(m) // want "maps.Keys yields keys in nondeterministic order"
+}
+
+// Positive: ranging a maps.Keys iterator is ranging the map.
+func keysRanged(m map[string]int) string {
+	s := ""
+	for k := range maps.Keys(m) { // want "iterates over a map in an output-bearing package"
+		s += k
+	}
+	return s
+}
+
+// Positive: maps.Values is as unordered as maps.Keys.
+func valuesLeaked(m map[string]int) func(func(int) bool) {
+	return maps.Values(m) // want "maps.Values yields keys in nondeterministic order"
+}
+
+// Suppressed: an explained waiver masks the finding and lands in the
+// inventory as active.
+func digest(m map[string]int) uint64 {
+	var sum uint64
+	//vgencheck:ordered wrapping add of per-key hashes is order-independent
+	for k := range m {
+		sum += uint64(len(k))
+	}
+	return sum
+}
+
+// A bare directive does not suppress: the loop still fires and the
+// directive itself is flagged as unexplained.
+func unexplained(m map[string]int) int {
+	n := 0
+	//vgencheck:ordered // want "unexplained suppression: //vgencheck:ordered needs a reason"
+	for range m { // want "iterates over a map in an output-bearing package"
+		n++
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+// Golden corpus for the nondet analyzer: ambient nondeterminism sources,
+// the seeded-generator negatives, a seam-allow-listed function, and a
+// suppressed case.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Positive: wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Positive: Since is Now in disguise.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Positive: the process-global math/rand stream.
+func draw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global math/rand stream"
+}
+
+// Negative: a seeded generator derived from the run seed.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Positive: pid is per-process state.
+func pid() int {
+	return os.Getpid() // want "os.Getpid is per-process state"
+}
+
+// Positive: a select case pulling its channel out of a map compounds map
+// order with select randomization.
+func waitAny(chans map[string]chan int) int {
+	select {
+	case v := <-chans["a"]: // want "select case reads a channel out of a map"
+		return v
+	default:
+		return 0
+	}
+}
+
+// Negative: channels pinned in a slice select deterministically enough.
+func waitFirst(chans []chan int) int {
+	select {
+	case v := <-chans[0]:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Suppressed: explained waiver, inventoried as active.
+func logStamp() int64 {
+	//vgencheck:nondet event-log timestamps are stderr-only and never reach table bytes
+	return time.Now().Unix()
+}
+
+// seam is allow-listed by the test's custom seam map ("nondet.seam"), the
+// same mechanism that admits the coord supervisor's backoff clock.
+func seam() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package wire is a structural lookalike of repro/internal/wire for the
+// durables golden corpus.
+package wire
+
+import "io"
+
+type Meta struct{ Shard int }
+
+func WriteResults(w io.Writer, m Meta, cells []byte) error {
+	_, err := w.Write(cells)
+	return err
+}
+
+func WritePlan(w io.Writer, m Meta, cells []byte) error {
+	_, err := w.Write(cells)
+	return err
+}

@@ -586,9 +586,11 @@ func (h *Harness) LintReport() string {
 		}
 	}
 	rules := map[string]bool{}
+	//vgencheck:ordered set union into a map; the rule set is rendered only via the sorted names below
 	for r := range refCounts {
 		rules[r] = true
 	}
+	//vgencheck:ordered set union into a map; the rule set is rendered only via the sorted names below
 	for r := range mutCounts {
 		rules[r] = true
 	}

@@ -283,6 +283,7 @@ func (m *Model) Freeze() {
 		lvl.table = make([]int32, size)
 		lvl.mask = uint32(size - 1)
 		lvl.distOff = append(lvl.distOff, 0)
+		//vgencheck:ordered open-addressed layout varies with insertion order, but probes are id-verified and each context's distribution is sorted, so sampled bytes are layout-independent (TestFreezeLayoutIndependent)
 		for key, d := range m.counts[n] {
 			ctx := ctxKeyTokens(key, n)
 			entry := int32(len(lvl.distOff) - 1)

@@ -17,6 +17,11 @@ EXPERIMENTS="table3 fig6 passk"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# The supervised-sweep proof starts from a lint-clean tree: byte-identical
+# merges assume no stray map-order or wall-clock dependence anywhere in
+# the pipeline, which is exactly what the analyzers enforce.
+$GO run ./cmd/vgen-check ./...
+
 $GO build -o "$tmp/vgen-eval" ./cmd/vgen-eval
 $GO build -o "$tmp/vgen-coord" ./cmd/vgen-coord
 V="$tmp/vgen-eval"
