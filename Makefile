@@ -7,7 +7,7 @@ DATE := $(shell date +%Y%m%d)
 # file, so bench-compare always has a baseline to diff against
 BENCHFILE := $(shell f=BENCH_$(DATE).json; i=2; while [ -e $$f ]; do f=BENCH_$(DATE).$$i.json; i=$$((i+1)); done; echo $$f)
 
-.PHONY: all build vet check test race bench bench-compare shard-check coord-check clean
+.PHONY: all build vet check test race bench bench-compare shard-check coord-check serve-check clean
 
 all: build test
 
@@ -30,10 +30,11 @@ test: vet check
 # race-checks the packages with concurrency: the parallel evaluation
 # engine, the model family it drives, the generation-backend layer, the
 # sweep coordinator (whose fault-injection suite exercises every
-# supervision path), and the analyzer driver (loads packages from many
-# golden trees).
+# supervision path), the remote transport (whose fault-matrix suite
+# exercises every recovery path), and the analyzer driver (loads
+# packages from many golden trees).
 race:
-	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/... ./internal/coord/... ./internal/goanalysis/...
+	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/... ./internal/coord/... ./internal/remote/... ./internal/goanalysis/...
 
 # -json emits the test2json stream (one JSON object per line) including
 # every Benchmark output line, so the file is grep- and jq-friendly.
@@ -60,6 +61,13 @@ shard-check:
 # explicit partial result that a restarted coordinator resumes.
 coord-check:
 	GO=$(GO) ./scripts/coord-check.sh
+
+# serve-check proves the remote backend: vgen-eval sweeping through
+# vgen-serve over loopback HTTP must render table3/fig6/passk
+# byte-identical to the in-process run, and the auto-paired recording
+# must replay to the same bytes offline.
+serve-check:
+	GO=$(GO) ./scripts/serve-check.sh
 
 clean:
 	rm -f BENCH_*.json

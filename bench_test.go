@@ -13,9 +13,12 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bpe"
 	"repro/internal/corpus"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/ngram"
 	"repro/internal/problems"
+	"repro/internal/remote"
 	"repro/internal/sim"
 	"repro/internal/vlog"
 	"repro/internal/vlog/elab"
@@ -502,6 +506,39 @@ func BenchmarkSweepThroughput(b *testing.B) {
 		}
 		benchSweepBackend(b, rp)
 	})
+	// remote rows: the same family sweep through the full wire stack
+	// (JSON encode, loopback HTTP, JSON decode) at the three pinned batch
+	// sizes. Compared against backend=family, the delta is the transport
+	// tax; across batch sizes, the amortization curve.
+	for _, batch := range []int{1, 8, 32} {
+		batch := batch
+		b.Run(fmt.Sprintf("backend=remote/batch=%d", batch), func(b *testing.B) {
+			srv := remote.NewServer(remote.NewHandler(fam, remote.ServerOptions{}))
+			url, err := srv.Start(context.Background(), "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			rb, err := remote.NewBackend(remote.Config{Endpoint: url, Timeout: 30 * time.Second, Seed: 123})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := eval.NewRunner(rb, 123)
+			r.Workers = 8
+			r.BatchSize = batch
+			qs := sweepQueries()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(r.EvaluateBatch(qs)) != len(qs) {
+					b.Fatal("batch result length mismatch")
+				}
+			}
+			b.StopTimer()
+			if fails := r.Failures(); len(fails) != 0 {
+				b.Fatalf("loopback sweep degraded %d cells", len(fails))
+			}
+		})
+	}
 }
 
 // BenchmarkShardMerge times the cross-process tax of a distributed sweep:

@@ -41,6 +41,13 @@ var hotPathBenches = []string{
 	"BenchmarkSweepThroughput/backend=family",
 	"BenchmarkSweepThroughput/backend=replay",
 	"BenchmarkShardMerge",
+	// remote transport rows: loopback wire-stack tax at the pinned batch
+	// sizes, and the per-attempt retry bookkeeping (breaker + backoff),
+	// which must stay allocation-free
+	"BenchmarkSweepThroughput/backend=remote/batch=1",
+	"BenchmarkSweepThroughput/backend=remote/batch=8",
+	"BenchmarkSweepThroughput/backend=remote/batch=32",
+	"BenchmarkRetryBookkeeping",
 }
 
 const regressionLimit = 0.10

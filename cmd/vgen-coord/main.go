@@ -11,6 +11,10 @@
 //	           [-shards N] [-parallel N] [-proc]
 //	           [-timeout D] [-max-attempts N] [-backoff D] [-backoff-cap D]
 //	           [-steal-after D] [-unhealthy-after N]
+//	           [-endpoint URL] [-auth-env VAR] [-batch N] [-batch-linger D]
+//	           [-remote-timeout D] [-remote-budget D] [-remote-attempts N]
+//	           [-remote-backoff D] [-remote-backoff-cap D] [-remote-inflight N]
+//	           [-breaker-threshold N] [-breaker-cooldown D]
 //	           [-fault kind:shard:attempt,...] [-allow-partial] [-quiet]
 //
 // -dir is the durable state directory: shard plans, validated shard
@@ -31,6 +35,17 @@
 // that exhausts its budget degrades the run to an explicit partial
 // result, which exits non-zero unless -allow-partial.
 //
+// -endpoint points every worker at a vgen-serve instance (implies
+// -backend remote; DESIGN.md Section 13). The remote knobs thread
+// through to -proc worker subprocesses on their command line — except
+// the auth token, which travels only as the inherited environment
+// variable named by -auth-env. The two retry layers compose: transport
+// retries (-remote-attempts, with backoff and circuit breaking) absorb
+// transient network faults inside a shard attempt; anything that
+// outlives them surfaces as missing cells, fails the shard's validation,
+// and spends one shard-level retry (-max-attempts) — the shard budget is
+// never consumed by a fault the transport already healed.
+//
 // The per-shard event stream (plan/resume/start/steal/retry/quarantine/
 // done) goes to stderr as it happens; tables go to stdout at the end.
 package main
@@ -48,6 +63,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/gen"
 	"repro/internal/harness"
 )
 
@@ -66,6 +82,25 @@ func main() {
 	corpusFiles := flag.Int("corpus-files", 0, "synthetic corpus size (0 = default)")
 	workers := flag.Int("workers", 0, "per-attempt evaluation pool width (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "family", "generation backend by name")
+
+	// Remote backend flags, mirroring vgen-eval. Transport retries compose
+	// *under* shard retries: a remote worker first retries each request up
+	// to -remote-attempts; only when a cell still cannot be served does the
+	// shard result come up short, fail validation, and consume one of the
+	// shard's -max-attempts. The shard-level budget is unchanged by any
+	// remote knob.
+	endpoint := flag.String("endpoint", "", "remote backend: completion service URL (implies -backend remote)")
+	authEnv := flag.String("auth-env", "", "remote backend: environment variable holding the bearer token")
+	remoteTimeout := flag.Duration("remote-timeout", 0, "remote backend: per-attempt HTTP deadline (0 = 30s)")
+	remoteBudget := flag.Duration("remote-budget", 0, "remote backend: per-worker request deadline budget (0 = none)")
+	remoteAttempts := flag.Int("remote-attempts", 0, "remote backend: per-request attempt budget (0 = 4)")
+	remoteBackoff := flag.Duration("remote-backoff", 0, "remote backend: base retry backoff (0 = 50ms)")
+	remoteBackoffCap := flag.Duration("remote-backoff-cap", 0, "remote backend: retry backoff cap (0 = 2s)")
+	remoteInflight := flag.Int("remote-inflight", 0, "remote backend: max concurrent HTTP requests per worker (0 = 16)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "remote backend: consecutive failures that trip the circuit breaker (0 = 5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "remote backend: open-breaker cooldown before a half-open probe (0 = 1s)")
+	batchSize := flag.Int("batch", 0, "batch-capable backends: work items coalesced per CompleteBatch call (0 = 16)")
+	batchLinger := flag.Duration("batch-linger", 0, "batch-capable backends: max wait before flushing a partial batch (0 = flush when the feed drains)")
 
 	// Supervision flags.
 	shards := flag.Int("shards", 4, "partition count of the sweep")
@@ -96,6 +131,39 @@ func main() {
 		}
 	}
 
+	if *endpoint != "" {
+		switch *backend {
+		case "family": // default value: -endpoint alone implies the remote backend
+			*backend = "remote"
+		case "remote":
+		default:
+			fail("-endpoint conflicts with -backend %s (the endpoint would be ignored)", *backend)
+		}
+	}
+	if *backend == "remote" && *endpoint == "" {
+		fail("-backend remote needs -endpoint (the vgen-serve URL)")
+	}
+	var authToken string
+	if *authEnv != "" {
+		authToken = os.Getenv(*authEnv)
+		if authToken == "" {
+			fail("-auth-env: environment variable %s is empty or unset", *authEnv)
+		}
+	}
+
+	coreCfg := core.Config{
+		Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep,
+		Workers: *workers, Backend: *backend,
+		Remote: gen.RemoteOptions{
+			Endpoint: *endpoint, AuthToken: authToken,
+			Timeout: *remoteTimeout, Budget: *remoteBudget,
+			MaxAttempts: *remoteAttempts, BackoffBase: *remoteBackoff, BackoffCap: *remoteBackoffCap,
+			MaxInFlight: *remoteInflight,
+			BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
+		},
+		BatchSize: *batchSize, BatchLinger: *batchLinger,
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -103,7 +171,7 @@ func main() {
 		if *workerPlan == "" || *workerOut == "" {
 			fail("worker mode needs both -worker-plan and -worker-out")
 		}
-		runWorker(ctx, *workerPlan, *workerOut, *seed, *corpusFiles, *workers, *backend, sweep)
+		runWorker(ctx, *workerPlan, *workerOut, coreCfg)
 		return
 	}
 
@@ -116,10 +184,7 @@ func main() {
 		fail("%v", err)
 	}
 
-	fw, err := core.New(core.Config{
-		Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep,
-		Workers: *workers, Backend: *backend,
-	})
+	fw, err := core.New(coreCfg)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -136,6 +201,27 @@ func main() {
 			"-corpus-files", strconv.Itoa(*corpusFiles),
 			"-workers", strconv.Itoa(*workers),
 			"-backend", *backend,
+		}
+		if *backend == "remote" {
+			// Thread the transport config through to worker subprocesses.
+			// The auth token travels by env var name — subprocesses inherit
+			// the environment, so the secret itself stays out of argv.
+			base = append(base,
+				"-endpoint", *endpoint,
+				"-remote-timeout", remoteTimeout.String(),
+				"-remote-budget", remoteBudget.String(),
+				"-remote-attempts", strconv.Itoa(*remoteAttempts),
+				"-remote-backoff", remoteBackoff.String(),
+				"-remote-backoff-cap", remoteBackoffCap.String(),
+				"-remote-inflight", strconv.Itoa(*remoteInflight),
+				"-breaker-threshold", strconv.Itoa(*breakerThreshold),
+				"-breaker-cooldown", breakerCooldown.String(),
+				"-batch", strconv.Itoa(*batchSize),
+				"-batch-linger", batchLinger.String(),
+			)
+			if *authEnv != "" {
+				base = append(base, "-auth-env", *authEnv)
+			}
 		}
 		launcher = &coord.ProcLauncher{Argv: func(a coord.Attempt) []string {
 			return append(append([]string(nil), base...),
@@ -178,11 +264,8 @@ func main() {
 // runWorker is the subprocess side of -proc: execute one serialized
 // shard plan under signal cancellation, exactly as vgen-eval -from-plan
 // would. Its output counts only after the coordinator's own validation.
-func runWorker(ctx context.Context, planPath, outPath string, seed int64, corpusFiles, workers int, backend string, sweep eval.SweepOptions) {
-	fw, err := core.New(core.Config{
-		Seed: seed, CorpusFiles: corpusFiles, Sweep: sweep,
-		Workers: workers, Backend: backend,
-	})
+func runWorker(ctx context.Context, planPath, outPath string, cfg core.Config) {
+	fw, err := core.New(cfg)
 	if err != nil {
 		fail("worker: %v", err)
 	}

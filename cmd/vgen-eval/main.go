@@ -5,6 +5,10 @@
 //
 //	vgen-eval [-seed N] [-n N] [-quick] [-workers N] [-map-sampler]
 //	          [-backend NAME] [-record FILE] [-replay FILE]
+//	          [-endpoint URL] [-auth-env VAR] [-batch N] [-batch-linger D]
+//	          [-remote-timeout D] [-remote-budget D] [-remote-attempts N]
+//	          [-remote-backoff D] [-remote-backoff-cap D] [-remote-inflight N]
+//	          [-breaker-threshold N] [-breaker-cooldown D]
 //	          [-shards N -shard I -emit out.jsonl]
 //	          [-emit-plan plan.jsonl] [-from-plan plan.jsonl -emit out.jsonl]
 //	          [-merge a.jsonl,b.jsonl,... [-allow-partial]]
@@ -16,11 +20,23 @@
 // paper) while running in seconds.
 //
 // -backend selects the generation backend by registered name (family,
-// mutant, replay — `-backend list` prints names with descriptions).
-// -record captures every produced sample to a JSONL file; -replay serves
-// a recording back through the replay backend, reproducing the recorded
-// sweep's statistics exactly (giving -replay alone implies -backend
-// replay).
+// mutant, remote, replay — `-backend list` prints names with
+// descriptions). -record captures every produced sample to a JSONL file;
+// -replay serves a recording back through the replay backend,
+// reproducing the recorded sweep's statistics exactly (giving -replay
+// alone implies -backend replay).
+//
+// -endpoint dials a vgen-serve instance and implies -backend remote
+// (DESIGN.md Section 13): completions run through the retrying,
+// circuit-broken, batch-coalescing HTTP transport, tuned by the
+// -remote-*, -breaker-*, and -batch* knobs. -remote-attempts bounds
+// transport retries per request, composing *under* the coordinator's
+// shard retries: a cell whose transport budget exhausts renders as an
+// explicit missing cell (non-zero exit), which a supervised run then
+// retries at shard granularity. -auth-env names the environment variable
+// holding the bearer token (the secret never appears on a command line).
+// Remote runs auto-record to remote-record.jsonl (or <emit>.rec.jsonl
+// when sharded) so they replay offline; -record='' disables.
 //
 // Distributed sweeps (see DESIGN.md, "Sharded sweep execution"): -shards
 // N -shard I -emit runs the I-th of N partitions of the selected
@@ -89,6 +105,18 @@ func main() {
 	allowPartial := flag.Bool("allow-partial", false, "merge whatever shards are present, report the missing shards/cells to stderr, and exit 0 (default: missing shards are an error)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	endpoint := flag.String("endpoint", "", "remote backend: completion service URL, e.g. http://127.0.0.1:8473 (implies -backend remote)")
+	authEnv := flag.String("auth-env", "", "remote backend: environment variable holding the bearer token (the token never appears in argv)")
+	remoteTimeout := flag.Duration("remote-timeout", 0, "remote backend: per-attempt HTTP deadline (0 = 30s)")
+	remoteBudget := flag.Duration("remote-budget", 0, "remote backend: sweep-level deadline shared by every request (0 = none)")
+	remoteAttempts := flag.Int("remote-attempts", 0, "remote backend: per-request attempt budget, composing under coord's shard retries (0 = 4)")
+	remoteBackoff := flag.Duration("remote-backoff", 0, "remote backend: base retry backoff, doubling per attempt (0 = 50ms)")
+	remoteBackoffCap := flag.Duration("remote-backoff-cap", 0, "remote backend: retry backoff cap (0 = 2s)")
+	remoteInflight := flag.Int("remote-inflight", 0, "remote backend: max concurrent HTTP requests (0 = 16)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "remote backend: consecutive failures that trip the circuit breaker (0 = 5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "remote backend: open-breaker cooldown before a half-open probe (0 = 1s)")
+	batchSize := flag.Int("batch", 0, "batch-capable backends: work items coalesced per CompleteBatch call (0 = 16)")
+	batchLinger := flag.Duration("batch-linger", 0, "batch-capable backends: max wait before flushing a partial batch (0 = flush when the feed drains)")
 	flag.Parse()
 
 	sweep := eval.SweepOptions{N: *n}
@@ -112,6 +140,28 @@ func main() {
 		case "replay":
 		default:
 			fmt.Fprintf(os.Stderr, "-replay conflicts with -backend %s (the recording would be ignored)\n", *backend)
+			os.Exit(2)
+		}
+	}
+	if *endpoint != "" {
+		switch *backend {
+		case "family": // default value: -endpoint alone implies the remote backend
+			*backend = "remote"
+		case "remote":
+		default:
+			fmt.Fprintf(os.Stderr, "-endpoint conflicts with -backend %s (the endpoint would be ignored)\n", *backend)
+			os.Exit(2)
+		}
+	}
+	if *backend == "remote" && *endpoint == "" {
+		fmt.Fprintln(os.Stderr, "-backend remote needs -endpoint (the vgen-serve URL)")
+		os.Exit(2)
+	}
+	var authToken string
+	if *authEnv != "" {
+		authToken = os.Getenv(*authEnv)
+		if authToken == "" {
+			fmt.Fprintf(os.Stderr, "-auth-env: environment variable %s is empty or unset\n", *authEnv)
 			os.Exit(2)
 		}
 	}
@@ -220,10 +270,38 @@ func main() {
 		}
 	}
 
+	if *backend == "remote" && *emitPlan == "" {
+		// Every remote run auto-pairs with a recording so it is replayable
+		// offline (-replay serves it back with no server at all). An explicit
+		// -record — including -record="" to opt out — wins; the default name
+		// is shard-qualified so supervised workers never clobber each other.
+		recordSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "record" {
+				recordSet = true
+			}
+		})
+		if !recordSet {
+			*record = "remote-record.jsonl"
+			if *emit != "" {
+				*record = *emit + ".rec.jsonl"
+			}
+			fmt.Fprintf(os.Stderr, "recording remote samples to %s (disable with -record='')\n", *record)
+		}
+	}
+
 	fw, err := core.New(core.Config{
 		Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep,
 		Workers: *workers, MapSampler: *mapSampler,
 		Backend: *backend, Record: *record, Replay: *replay,
+		Remote: gen.RemoteOptions{
+			Endpoint: *endpoint, AuthToken: authToken,
+			Timeout: *remoteTimeout, Budget: *remoteBudget,
+			MaxAttempts: *remoteAttempts, BackoffBase: *remoteBackoff, BackoffCap: *remoteBackoffCap,
+			MaxInFlight: *remoteInflight,
+			BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
+		},
+		BatchSize: *batchSize, BatchLinger: *batchLinger,
 	})
 	if err != nil {
 		stopCPU()
@@ -260,6 +338,21 @@ func main() {
 
 	if err := fw.Close(); err != nil {
 		fail("record: %v", err)
+	}
+
+	// A backend that failed to produce cells (a remote transport out of
+	// retries) rendered zeros in their place. Render first so the partial
+	// output exists, then fail loudly — a silently short table is the
+	// worst outcome a degraded backend can have.
+	if fails := fw.Runner.Failures(); len(fails) > 0 {
+		for i, f := range fails {
+			if i == 8 {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(fails)-8)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  unserved cell %+v: %v\n", f.Coord, f.Err)
+		}
+		fail("backend failed to serve %d cell(s); their stats rendered as zeros", len(fails))
 	}
 
 	if *memprofile != "" {

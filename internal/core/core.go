@@ -10,12 +10,18 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/problems"
+
+	// Register the remote backend (it lives outside gen to keep the
+	// transport stack out of the interface package). The facade is where
+	// backend selection happens, so this is where the registry fills up.
+	_ "repro/internal/remote"
 )
 
 // Config selects the framework scale, determinism seed, and generation
@@ -39,6 +45,18 @@ type Config struct {
 
 	// Replay is the JSONL recording served by the replay backend.
 	Replay string
+
+	// Remote configures the remote backend's HTTP transport (endpoint,
+	// auth, timeout/retry/breaker knobs); read when Backend is "remote".
+	// A zero Remote.Seed inherits Seed, so transport retry jitter is
+	// reproducible from the sweep seed alone.
+	Remote gen.RemoteOptions
+
+	// BatchSize and BatchLinger tune the evaluation engine's batch
+	// coalescing when the backend implements gen.BatchBackend; zero means
+	// the engine defaults. Batch composition never changes results.
+	BatchSize   int
+	BatchLinger time.Duration
 }
 
 // Framework is a fully wired evaluation stack.
@@ -72,6 +90,10 @@ func New(cfg Config) (*Framework, error) {
 	if name == "" {
 		name = "family"
 	}
+	remote := cfg.Remote
+	if remote.Seed == 0 {
+		remote.Seed = cfg.Seed
+	}
 	b, err := gen.New(name, gen.Options{
 		Family: model.Config{
 			Seed:        cfg.Seed,
@@ -80,6 +102,7 @@ func New(cfg Config) (*Framework, error) {
 			MapSampler:  cfg.MapSampler,
 		},
 		ReplayPath: cfg.Replay,
+		Remote:     remote,
 	})
 	if err != nil {
 		return nil, err
@@ -102,6 +125,8 @@ func New(cfg Config) (*Framework, error) {
 	}
 	runner := eval.NewRunner(fw.Backend, cfg.Seed)
 	runner.Workers = cfg.Workers
+	runner.BatchSize = cfg.BatchSize
+	runner.BatchLinger = cfg.BatchLinger
 	fw.Runner = runner
 	fw.Harness = &harness.Harness{Runner: runner, Opts: cfg.Sweep, Seed: cfg.Seed}
 	return fw, nil

@@ -13,9 +13,11 @@ package eval
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -247,8 +249,23 @@ type Runner struct {
 	// width; see DESIGN.md, "Determinism under parallelism".
 	Workers int
 
+	// BatchSize caps how many work items are coalesced into one
+	// CompleteBatch call when Backend implements gen.BatchBackend; 0 means
+	// 16. BatchLinger bounds how long the coalescer holds a partial batch
+	// open waiting for more items before flushing it; 0 means partial
+	// batches flush only when the feed drains. Batch composition never
+	// affects results: samples are pure functions of their coordinates, so
+	// any size/linger produces byte-identical CellStats.
+	BatchSize   int
+	BatchLinger time.Duration
+
 	tag    string // Backend.Describe(), captured once for cache keys
 	shards [numShards]cacheShard
+
+	failMu       sync.Mutex
+	lastFailures []CellFailure // from the most recent EvaluateBatch* call
+	allFailures  []CellFailure // accumulated across calls, deduped by coord
+	failSeen     map[Coord]bool
 }
 
 // NewRunner wraps a generation backend for evaluation.
@@ -361,11 +378,16 @@ func (c *CellStats) Add(o CellStats) {
 // sampleResult is one work item's outcome, written into a slot owned by
 // its (query, sample) coordinates so reduction order is fixed. ok mirrors
 // the backend's verdict: a slot the backend declined (no such model line,
-// sample missing from a recording) stays out of the stats entirely.
+// sample missing from a recording) stays out of the stats entirely. err
+// is a produced failure (a remote transport that exhausted its retries):
+// unlike a decline, it poisons the whole cell — scoring a cell from fewer
+// samples than planned would be a silent gap, so the reduction degrades
+// it to an explicit CellFailure instead.
 type sampleResult struct {
 	outcome Outcome
 	latency float64
 	ok      bool
+	err     error
 }
 
 // stats is the sample's one-observation CellStats contribution. Reducing
@@ -404,21 +426,76 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 // what lets a coordinator shutdown (or SIGINT) reap an in-flight shard
 // without leaking its pool.
 func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats, error) {
-	type item struct{ qi, si int }
 	keys := make([]gen.Key, len(qs))
 	bases := make([]int64, len(qs))
 	results := make([][]sampleResult, len(qs))
-	var items []item
+	var items []workItem
 	for qi, q := range qs {
 		keys[qi] = gen.Key{Model: string(q.Model), Variant: q.Variant.String()}
 		bases[qi] = r.querySeed(q)
 		results[qi] = make([]sampleResult, q.N)
 		for si := 0; si < q.N; si++ {
-			items = append(items, item{qi: qi, si: si})
+			items = append(items, workItem{qi: qi, si: si})
 		}
 	}
 
-	run := func(it item) {
+	if bb, ok := r.Backend.(gen.BatchBackend); ok {
+		r.runBatched(ctx, bb, qs, keys, bases, results, items)
+	} else {
+		r.runSingles(ctx, qs, keys, bases, results, items)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Deterministic reduction: per-query, in sample-index order, through
+	// the same Add the cross-process shard merge uses. A cell with any
+	// produced-failure slot degrades whole (lowest failed sample index
+	// names the error, so the failure list is deterministic too) — its
+	// stats zero out and the failure is reported via Failures, which is
+	// what lets a plan run record the cell as explicitly missing.
+	out := make([]CellStats, len(qs))
+	var fails []CellFailure
+	for qi := range qs {
+		var cellErr error
+		for _, sr := range results[qi] {
+			if sr.err != nil {
+				cellErr = sr.err
+				break
+			}
+		}
+		if cellErr != nil {
+			fails = append(fails, CellFailure{Coord: qs[qi].Coord(), Err: cellErr})
+			continue
+		}
+		for _, sr := range results[qi] {
+			if sr.ok {
+				out[qi].Add(sr.stats())
+			}
+		}
+	}
+	r.failMu.Lock()
+	r.lastFailures = fails
+	if r.failSeen == nil {
+		r.failSeen = map[Coord]bool{}
+	}
+	for _, f := range fails {
+		if !r.failSeen[f.Coord] {
+			r.failSeen[f.Coord] = true
+			r.allFailures = append(r.allFailures, f)
+		}
+	}
+	r.failMu.Unlock()
+	return out, nil
+}
+
+// workItem addresses one (query, sample) work unit of a batch.
+type workItem struct{ qi, si int }
+
+// runSingles is the one-call-per-sample path: every work item fans across
+// the pool as its own Backend.Complete call.
+func (r *Runner) runSingles(ctx context.Context, qs []Query, keys []gen.Key, bases []int64, results [][]sampleResult, items []workItem) {
+	run := func(it workItem) {
 		q := qs[it.qi]
 		s, ok := r.Backend.Complete(keys[it.qi], q.Problem, q.Level, q.Temperature, it.si, bases[it.qi])
 		if !ok {
@@ -430,8 +507,8 @@ func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats,
 
 	if w := r.workers(); w <= 1 || len(items) <= 1 {
 		for _, it := range items {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+			if ctx.Err() != nil {
+				return
 			}
 			run(it)
 		}
@@ -439,7 +516,7 @@ func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats,
 		if w > len(items) {
 			w = len(items)
 		}
-		ch := make(chan item, w)
+		ch := make(chan workItem, w)
 		var wg sync.WaitGroup
 		wg.Add(w)
 		for i := 0; i < w; i++ {
@@ -461,21 +538,161 @@ func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats,
 		close(ch)
 		wg.Wait()
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+}
+
+// defaultBatchSize is the CompleteBatch coalescing width when
+// Runner.BatchSize is unset — big enough to amortize per-call transport
+// overhead across the sweep fan-out, small enough that a lost batch
+// degrades few cells.
+const defaultBatchSize = 16
+
+// runBatched is the batch fast path: work items are coalesced into
+// CompleteBatch calls of up to BatchSize items (a partial batch flushes
+// after BatchLinger, or when the feed drains), fanned across the worker
+// pool. Outcome evaluation stays per-sample in the workers; slot
+// ownership and the fixed-order reduction are untouched, so results are
+// byte-identical to the single-call path at any batch composition.
+func (r *Runner) runBatched(ctx context.Context, bb gen.BatchBackend, qs []Query, keys []gen.Key, bases []int64, results [][]sampleResult, items []workItem) {
+	bs := r.BatchSize
+	if bs <= 0 {
+		bs = defaultBatchSize
 	}
 
-	// Deterministic reduction: per-query, in sample-index order, through
-	// the same Add the cross-process shard merge uses.
-	out := make([]CellStats, len(qs))
-	for qi := range qs {
-		for _, sr := range results[qi] {
-			if sr.ok {
-				out[qi].Add(sr.stats())
+	run := func(bt []workItem) {
+		reqs := make([]gen.Request, len(bt))
+		for i, it := range bt {
+			q := qs[it.qi]
+			reqs[i] = gen.Request{
+				Key: keys[it.qi], Problem: q.Problem, Level: q.Level,
+				Temperature: q.Temperature, SampleIdx: it.si, BaseSeed: bases[it.qi],
+			}
+		}
+		res := bb.CompleteBatch(ctx, reqs)
+		if len(res) != len(reqs) {
+			err := fmt.Errorf("eval: backend %s returned %d results for a %d-request batch", r.tag, len(res), len(reqs))
+			for _, it := range bt {
+				results[it.qi][it.si] = sampleResult{err: err}
+			}
+			return
+		}
+		for i, it := range bt {
+			q := qs[it.qi]
+			switch {
+			case res[i].Err != nil:
+				results[it.qi][it.si] = sampleResult{err: res[i].Err}
+			case res[i].OK:
+				o := r.evaluate(q.Problem, q.Level, res[i].Sample.Completion)
+				results[it.qi][it.si] = sampleResult{outcome: o, latency: res[i].Sample.Latency, ok: true}
 			}
 		}
 	}
-	return out, nil
+
+	w := r.workers()
+	if w <= 1 || len(items) <= bs {
+		for start := 0; start < len(items); start += bs {
+			if ctx.Err() != nil {
+				return
+			}
+			end := start + bs
+			if end > len(items) {
+				end = len(items)
+			}
+			run(items[start:end])
+		}
+		return
+	}
+
+	batches := make(chan []workItem, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for bt := range batches {
+				run(bt)
+			}
+		}()
+	}
+	r.coalesce(ctx, items, bs, batches)
+	close(batches)
+	wg.Wait()
+}
+
+// coalesce groups items into batches of up to size, flushing a partial
+// batch when BatchLinger elapses since its first item was buffered. With
+// every item available up front the linger rarely fires — batches fill —
+// but the same machinery serves a slow feed (a paced re-sweep, a future
+// streaming planner) without holding one item hostage indefinitely.
+func (r *Runner) coalesce(ctx context.Context, items []workItem, size int, batches chan<- []workItem) {
+	var buf []workItem
+	var timer *time.Timer
+	var lingerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, lingerC = nil, nil
+		}
+	}
+	flush := func() bool {
+		stopTimer()
+		if len(buf) == 0 {
+			return true
+		}
+		bt := buf
+		buf = nil
+		select {
+		case batches <- bt:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	for _, it := range items {
+		select {
+		case <-ctx.Done():
+			return
+		case <-lingerC:
+			if !flush() {
+				return
+			}
+		default:
+		}
+		buf = append(buf, it)
+		if len(buf) >= size {
+			if !flush() {
+				return
+			}
+			continue
+		}
+		if r.BatchLinger > 0 && timer == nil {
+			timer = time.NewTimer(r.BatchLinger)
+			lingerC = timer.C
+		}
+	}
+	flush()
+}
+
+// CellFailure is one planned cell whose samples could not be produced —
+// a batch backend reported an error (remote transport out of retries,
+// sweep budget exhausted) for at least one of its samples. The cell's
+// stats are zeroed and callers decide the degradation: plan runs record
+// it as missing (the partial-result path), direct renders fail loudly
+// after rendering.
+type CellFailure struct {
+	Coord Coord
+	Err   error
+}
+
+// Failures reports every cell any EvaluateBatch* call on this runner has
+// degraded, deduplicated by coordinate, in first-failure order. A cell
+// that failed in one render and succeeded in a later one stays listed:
+// the earlier artifact really did print zeros for it, and the report's
+// job is to make that impossible to miss. Empty means every requested
+// cell was served every time.
+func (r *Runner) Failures() []CellFailure {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return append([]CellFailure(nil), r.allFailures...)
 }
 
 // Temperatures is the paper's sweep set.

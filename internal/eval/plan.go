@@ -222,6 +222,14 @@ func (r *Runner) RunPlan(p *Plan) (*ResultSet, error) {
 // RunPlanCtx is RunPlan under a context: cancellation stops the worker
 // pool promptly (see EvaluateBatchCtx) and returns ctx's error instead of
 // a partial result set.
+//
+// Cells the backend failed to produce (see Runner.Failures) are left out
+// of the returned set rather than stored as zeros: a consumer looking the
+// cell up sees it in Missing, the shard writer serializes a result that
+// fails the coordinator's exact-coverage validation (triggering a shard
+// retry on top of the transport's own), and an exhausted run degrades to
+// an explicit partial result — the sweep never aborts and never renders
+// a silently short cell.
 func (r *Runner) RunPlanCtx(ctx context.Context, p *Plan) (*ResultSet, error) {
 	if err := p.Err(); err != nil {
 		return nil, err
@@ -231,8 +239,19 @@ func (r *Runner) RunPlanCtx(ctx context.Context, p *Plan) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Only this call's failures matter here: an earlier render's transient
+	// failure on a coordinate this run served fine must not evict the cell.
+	failed := map[Coord]bool{}
+	r.failMu.Lock()
+	for _, f := range r.lastFailures {
+		failed[f.Coord] = true
+	}
+	r.failMu.Unlock()
 	rs := NewResultSet()
 	for i, q := range qs {
+		if failed[q.Coord()] {
+			continue
+		}
 		if err := rs.Put(q.Coord(), sts[i]); err != nil {
 			return nil, err
 		}

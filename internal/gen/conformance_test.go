@@ -8,16 +8,19 @@ package gen_test
 // target and CI run).
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/problems"
+	"repro/internal/remote"
 )
 
 const confSeed = 55
@@ -77,16 +80,49 @@ func recordForReplay(t *testing.T) string {
 	return path
 }
 
+// startRemoteEndpoint serves the mutant backend over the wire protocol
+// in-process and returns an endpoint URL for the remote backend to dial.
+// The server is closed when the test finishes.
+func startRemoteEndpoint(t *testing.T) string {
+	t.Helper()
+	inner, err := gen.New("mutant", gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(remote.NewHandler(inner, remote.ServerOptions{}))
+	url, err := srv.Start(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("remote server close: %v", err)
+		}
+	})
+	return url
+}
+
 // backendsUnderTest constructs every registered backend. A backend this
 // helper does not know how to parameterize fails the suite loudly rather
-// than being skipped silently.
+// than being skipped silently. The remote backend is dialed against an
+// in-process wire server over the mutant backend, so the whole transport
+// stack rides through every conformance test.
 func backendsUnderTest(t *testing.T) map[string]gen.Backend {
 	t.Helper()
 	out := map[string]gen.Backend{}
 	for _, name := range gen.Names() {
 		opts := gen.Options{Family: model.Config{Seed: 11, CorpusFiles: 25}}
-		if name == "replay" {
+		switch name {
+		case "replay":
 			opts.ReplayPath = recordForReplay(t)
+		case "remote":
+			opts.Remote = gen.RemoteOptions{
+				Endpoint:    startRemoteEndpoint(t),
+				Timeout:     5 * time.Second,
+				BackoffBase: time.Millisecond,
+				BackoffCap:  4 * time.Millisecond,
+				Seed:        confSeed,
+			}
 		}
 		b, err := gen.New(name, opts)
 		if err != nil {
@@ -99,7 +135,7 @@ func backendsUnderTest(t *testing.T) map[string]gen.Backend {
 
 func TestRegistryNames(t *testing.T) {
 	names := gen.Names()
-	want := map[string]bool{"family": false, "mutant": false, "replay": false}
+	want := map[string]bool{"family": false, "mutant": false, "replay": false, "remote": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -231,6 +267,195 @@ func TestConformanceConcurrentComplete(t *testing.T) {
 			}()
 		}
 		wg.Wait()
+	}
+}
+
+// confRequests builds a small batch of completion requests on the
+// backend's first variant.
+func confRequests(b gen.Backend, n int) []gen.Request {
+	key := b.Variants()[0]
+	var reqs []gen.Request
+	for idx := 0; idx < n; idx++ {
+		p := problems.ByNumber(1 + (idx%2)*5) // alternate problems 1 and 6
+		reqs = append(reqs, gen.Request{
+			Key: key, Problem: p, Level: problems.LevelLow,
+			Temperature: 0.1 + 0.9*float64(idx%2), SampleIdx: idx / 2, BaseSeed: 777,
+		})
+	}
+	return reqs
+}
+
+// batchBackendsUnderTest filters the registry for backends implementing
+// the optional batch interface. At least the remote backend must — if
+// the filter comes back empty the batch conformance tests are passing
+// vacuously, which is itself a failure.
+func batchBackendsUnderTest(t *testing.T) map[string]gen.BatchBackend {
+	t.Helper()
+	out := map[string]gen.BatchBackend{}
+	for name, b := range backendsUnderTest(t) {
+		if bb, ok := b.(gen.BatchBackend); ok {
+			out[name] = bb
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no registered backend implements gen.BatchBackend; batch conformance is vacuous")
+	}
+	return out
+}
+
+// TestConformanceBatchSingleEquivalence pins the BatchBackend contract:
+// CompleteBatch must return, slot for slot, exactly what Complete
+// returns at the same coordinates — same samples, same declines.
+func TestConformanceBatchSingleEquivalence(t *testing.T) {
+	for name, bb := range batchBackendsUnderTest(t) {
+		reqs := confRequests(bb, 8)
+		res := bb.CompleteBatch(context.Background(), reqs)
+		if len(res) != len(reqs) {
+			t.Fatalf("%s: %d results for %d requests", name, len(res), len(reqs))
+		}
+		for i, q := range reqs {
+			if res[i].Err != nil {
+				t.Fatalf("%s: slot %d errored on a healthy backend: %v", name, i, res[i].Err)
+			}
+			s, ok := bb.Complete(q.Key, q.Problem, q.Level, q.Temperature, q.SampleIdx, q.BaseSeed)
+			if ok != res[i].OK || (ok && s != res[i].Sample) {
+				t.Fatalf("%s: slot %d diverges from single-call path:\nbatch  %+v ok=%v\nsingle %+v ok=%v",
+					name, i, res[i].Sample, res[i].OK, s, ok)
+			}
+		}
+	}
+}
+
+// TestConformanceBatchPartialFailureIsolation pins per-request failure
+// isolation: an unservable request in the middle of a batch must not
+// perturb its siblings' results.
+func TestConformanceBatchPartialFailureIsolation(t *testing.T) {
+	for name, bb := range batchBackendsUnderTest(t) {
+		reqs := confRequests(bb, 3)
+		reqs[1].Problem = &problems.Problem{Number: 999} // not in the problem set
+		res := bb.CompleteBatch(context.Background(), reqs)
+		if len(res) != len(reqs) {
+			t.Fatalf("%s: %d results for %d requests", name, len(res), len(reqs))
+		}
+		for _, i := range []int{0, 2} {
+			q := reqs[i]
+			s, ok := bb.Complete(q.Key, q.Problem, q.Level, q.Temperature, q.SampleIdx, q.BaseSeed)
+			if res[i].Err != nil || ok != res[i].OK || (ok && s != res[i].Sample) {
+				t.Fatalf("%s: sibling slot %d was poisoned by the failed request: %+v", name, i, res[i])
+			}
+		}
+		if res[1].OK {
+			t.Fatalf("%s: unservable request came back OK: %+v", name, res[1])
+		}
+		if name == "remote" && res[1].Err == nil {
+			t.Fatalf("%s: server-side failure should surface as a per-slot error", name)
+		}
+	}
+}
+
+// TestConformanceConcurrentCompleteBatch hammers CompleteBatch from 8
+// goroutines against precomputed expectations — the batch-path data-race
+// probe for the -race job.
+func TestConformanceConcurrentCompleteBatch(t *testing.T) {
+	for name, bb := range batchBackendsUnderTest(t) {
+		reqs := confRequests(bb, 6)
+		want := bb.CompleteBatch(context.Background(), reqs)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 3; rep++ {
+					got := bb.CompleteBatch(context.Background(), reqs)
+					for i := range reqs {
+						if got[i].Err != nil || got[i] != want[i] {
+							t.Errorf("%s: concurrent batch slot %d drifted: %+v != %+v", name, i, got[i], want[i])
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestConformanceBatchCompositionIdentity runs the probe sweep through
+// the engine at batch sizes 1, 3, and 16 (with and without a linger
+// window) and requires bit-identical CellStats: how work coalesces into
+// batches must never reach the output bytes.
+func TestConformanceBatchCompositionIdentity(t *testing.T) {
+	for name, bb := range batchBackendsUnderTest(t) {
+		qs := confQueries(t, bb)
+		var base []eval.CellStats
+		for _, batch := range []int{1, 3, 16} {
+			r := eval.NewRunner(bb, confSeed)
+			r.Workers = 4
+			r.BatchSize = batch
+			if batch == 3 {
+				r.BatchLinger = time.Millisecond
+			}
+			got := r.EvaluateBatch(qs)
+			if base == nil {
+				base = got
+				continue
+			}
+			for qi := range qs {
+				if got[qi] != base[qi] {
+					t.Fatalf("%s: query %d diverges at batch size %d: %+v != %+v",
+						name, qi, batch, got[qi], base[qi])
+				}
+			}
+		}
+	}
+}
+
+// TestRecorderCompleteBatch pins the Recorder's batch path: wrapping a
+// single-call backend, CompleteBatch must fall back to per-request
+// Complete calls and still record every served sample for replay.
+func TestRecorderCompleteBatch(t *testing.T) {
+	src, err := gen.New("mutant", gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := gen.NewRecorder(src, f)
+	reqs := confRequests(src, 6)
+	res := rec.CompleteBatch(context.Background(), reqs)
+	for i, q := range reqs {
+		s, ok := src.Complete(q.Key, q.Problem, q.Level, q.Temperature, q.SampleIdx, q.BaseSeed)
+		if res[i].Err != nil || ok != res[i].OK || (ok && s != res[i].Sample) {
+			t.Fatalf("recorder batch slot %d diverges from inner backend: %+v", i, res[i])
+		}
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data.Close()
+	replay, err := gen.NewReplay(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range reqs {
+		if !res[i].OK {
+			continue
+		}
+		s, ok := replay.Complete(q.Key, q.Problem, q.Level, q.Temperature, q.SampleIdx, q.BaseSeed)
+		if !ok || s != res[i].Sample {
+			t.Fatalf("batch-recorded sample %d does not replay: %+v ok=%v", i, s, ok)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -78,6 +79,12 @@ func (r *Recorder) Complete(key Key, p *problems.Problem, level problems.Level, 
 	if !ok {
 		return s, false
 	}
+	r.record(key, p, level, temperature, sampleIdx, baseSeed, s)
+	return s, true
+}
+
+// record captures one produced sample, deduplicating by coordinates.
+func (r *Recorder) record(key Key, p *problems.Problem, level problems.Level, temperature float64, sampleIdx int, baseSeed int64, s Sample) {
 	k := recKey{
 		model: key.Model, variant: key.Variant,
 		problem: p.Number, level: int(level), tempMilli: TempMilli(temperature),
@@ -96,7 +103,36 @@ func (r *Recorder) Complete(key Key, p *problems.Problem, level problems.Level, 
 		}
 	}
 	r.mu.Unlock()
-	return s, true
+}
+
+// CompleteBatch preserves the wrapped backend's batch fast path: if inner
+// is a BatchBackend the whole batch goes through in one call, otherwise
+// each request is served via Complete (which already records). Successful
+// results are captured exactly like Complete's; failed or declined slots
+// produce no line, so a recording only ever holds real samples.
+func (r *Recorder) CompleteBatch(ctx context.Context, reqs []Request) []BatchResult {
+	bb, ok := r.inner.(BatchBackend)
+	if !ok {
+		out := make([]BatchResult, len(reqs))
+		for i, q := range reqs {
+			if err := ctx.Err(); err != nil {
+				out[i] = BatchResult{Err: err}
+				continue
+			}
+			s, got := r.Complete(q.Key, q.Problem, q.Level, q.Temperature, q.SampleIdx, q.BaseSeed)
+			out[i] = BatchResult{Sample: s, OK: got}
+		}
+		return out
+	}
+	out := bb.CompleteBatch(ctx, reqs)
+	for i, res := range out {
+		if i >= len(reqs) || res.Err != nil || !res.OK {
+			continue
+		}
+		q := reqs[i]
+		r.record(q.Key, q.Problem, q.Level, q.Temperature, q.SampleIdx, q.BaseSeed, res.Sample)
+	}
+	return out
 }
 
 // Variants delegates to the wrapped backend.

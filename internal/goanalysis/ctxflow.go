@@ -21,7 +21,7 @@ func Ctxflow() *Analyzer {
 		Name:      "ctxflow",
 		Doc:       "goroutine spawn without a context parameter, ctx not first, or ctx shadowed by context.Background",
 		Directive: "ctxflow",
-		Packages:  []string{"eval", "coord"},
+		Packages:  []string{"eval", "coord", "remote"},
 		Run:       runCtxflow,
 	}
 }

@@ -15,12 +15,18 @@ import (
 )
 
 // DefaultNondetSeams is the allow-listed clock seam: the coordinator's
-// retry state machine, whose timing decisions never reach output bytes.
+// retry state machine and the remote transport's retry/circuit-breaker
+// machinery. Both make timing decisions that never reach output bytes —
+// retries re-produce identical samples, and a timing difference can only
+// change *when* a request runs, never *what* it returns.
 var DefaultNondetSeams = map[string]string{
 	"coord.supervisor.run":      "wakeup timer scheduling for backoff expiry and steal eligibility",
 	"coord.supervisor.dispatch": "backoff eligibility and straggler age checks",
 	"coord.supervisor.start":    "straggler timing for steal eligibility",
 	"coord.supervisor.handle":   "retry backoff deadline stamping",
+	"remote.breaker.Allow":      "circuit-breaker cooldown expiry check",
+	"remote.breaker.Failure":    "circuit-breaker trip timestamping",
+	"remote.NewTransport":       "sweep-budget deadline anchoring at construction",
 }
 
 // Nondet flags ambient nondeterminism (time.Now/Since/Until, global
