@@ -7,7 +7,7 @@ DATE := $(shell date +%Y%m%d)
 # file, so bench-compare always has a baseline to diff against
 BENCHFILE := $(shell f=BENCH_$(DATE).json; i=2; while [ -e $$f ]; do f=BENCH_$(DATE).$$i.json; i=$$((i+1)); done; echo $$f)
 
-.PHONY: all build vet check test race bench bench-compare shard-check coord-check serve-check clean
+.PHONY: all build vet check test race bench bench-compare shard-check coord-check serve-check store-check clean
 
 all: build test
 
@@ -31,10 +31,11 @@ test: vet check
 # engine, the model family it drives, the generation-backend layer, the
 # sweep coordinator (whose fault-injection suite exercises every
 # supervision path), the remote transport (whose fault-matrix suite
-# exercises every recovery path), and the analyzer driver (loads
-# packages from many golden trees).
+# exercises every recovery path), the result store (shared by parallel
+# sweep workers through its cached source), and the analyzer driver
+# (loads packages from many golden trees).
 race:
-	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/... ./internal/coord/... ./internal/remote/... ./internal/goanalysis/...
+	$(GO) test -race ./internal/eval/... ./internal/model/... ./internal/gen/... ./internal/coord/... ./internal/remote/... ./internal/store/... ./internal/goanalysis/...
 
 # -json emits the test2json stream (one JSON object per line) including
 # every Benchmark output line, so the file is grep- and jq-friendly.
@@ -68,6 +69,13 @@ coord-check:
 # must replay to the same bytes offline.
 serve-check:
 	GO=$(GO) ./scripts/serve-check.sh
+
+# store-check proves the persistent result store: a cold -store run must
+# render table3/fig6/passk byte-identical to the store-less run, a warm
+# re-run must serve 100% of cells from disk (0 misses = 0 backend
+# calls) to the same bytes, and the query/diff layer must see the sweep.
+store-check:
+	GO=$(GO) ./scripts/store-check.sh
 
 clean:
 	rm -f BENCH_*.json

@@ -30,6 +30,7 @@ import (
 	"repro/internal/problems"
 	"repro/internal/remote"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/vlog"
 	"repro/internal/vlog/elab"
 	"repro/internal/vnum"
@@ -506,6 +507,71 @@ func BenchmarkSweepThroughput(b *testing.B) {
 		}
 		benchSweepBackend(b, rp)
 	})
+	// store rows (DESIGN.md Section 14): the same family sweep through the
+	// persistent result store. store=cold pays full compute plus
+	// persistence into a fresh store; store=warm reopens the populated
+	// store per iteration and serves every cell from disk without one
+	// backend call. The cold/warm ratio is the cache's whole point, so
+	// both rows are pinned in bench-compare.
+	b.Run("store=cold", func(b *testing.B) {
+		qs := sweepQueries()
+		id := store.Identity{Backend: fam.Describe(), Seed: 123}
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			st, err := store.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := eval.NewRunner(fam, 123)
+			r.Workers = 8
+			src := store.Cached(r, st, id)
+			if len(src.Cells(qs)) != len(qs) {
+				b.Fatal("cell result length mismatch")
+			}
+			if err := src.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("store=warm", func(b *testing.B) {
+		qs := sweepQueries()
+		id := store.Identity{Backend: fam.Describe(), Seed: 123}
+		dir := b.TempDir()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := eval.NewRunner(fam, 123)
+		r.Workers = 8
+		if src := store.Cached(r, st, id); len(src.Cells(qs)) != len(qs) || src.Err() != nil {
+			b.Fatal("populating sweep failed")
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := store.Cached(eval.NewRunner(fam, 123), st, id)
+			if len(src.Cells(qs)) != len(qs) {
+				b.Fatal("cell result length mismatch")
+			}
+			if stats := src.Stats(); stats.Misses != 0 {
+				b.Fatalf("warm sweep missed %d cells", stats.Misses)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	// remote rows: the same family sweep through the full wire stack
 	// (JSON encode, loopback HTTP, JSON decode) at the three pinned batch
 	// sizes. Compared against backend=family, the delta is the transport
@@ -586,6 +652,37 @@ func BenchmarkShardMerge(b *testing.B) {
 		}
 		if merged.Len() != plan.Len() {
 			b.Fatal("merge dropped cells")
+		}
+	}
+}
+
+// BenchmarkStoreLookup times one in-memory cell probe of an opened store
+// — the per-cell cost a warm sweep pays instead of a backend completion.
+// Pinned in bench-compare alongside the store sweep rows.
+func BenchmarkStoreLookup(b *testing.B) {
+	plan := eval.NewPlan()
+	for _, q := range sweepQueries() {
+		if err := plan.Add(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	coords := plan.Coords()
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	id := store.Identity{Backend: "bench", Seed: 123}
+	for j, c := range coords {
+		cs := eval.CellStats{Samples: c.N, Compiled: c.N, Passed: j % 2, SumLat: 1.25 * float64(j)}
+		if err := st.Put(id, c, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Get(id, coords[i%len(coords)]); !ok {
+			b.Fatal("resident cell missed")
 		}
 	}
 }

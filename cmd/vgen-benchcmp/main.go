@@ -48,6 +48,12 @@ var hotPathBenches = []string{
 	"BenchmarkSweepThroughput/backend=remote/batch=8",
 	"BenchmarkSweepThroughput/backend=remote/batch=32",
 	"BenchmarkRetryBookkeeping",
+	// persistent result store rows: the cold (compute + persist) and warm
+	// (disk cache hit) sweep paths plus the raw resident-cell probe — a
+	// regression here erodes exactly the speedup the store exists for
+	"BenchmarkSweepThroughput/store=cold",
+	"BenchmarkSweepThroughput/store=warm",
+	"BenchmarkStoreLookup",
 }
 
 const regressionLimit = 0.10

@@ -16,12 +16,20 @@
 //	           [-remote-backoff D] [-remote-backoff-cap D] [-remote-inflight N]
 //	           [-breaker-threshold N] [-breaker-cooldown D]
 //	           [-fault kind:shard:attempt,...] [-allow-partial] [-quiet]
+//	           [-store DIR]
 //
 // -dir is the durable state directory: shard plans, validated shard
 // results, and in-progress attempt files live there. Rerunning on the
 // same directory resumes — shards whose result files decode-validate are
 // adopted without execution, so a killed coordinator costs only the work
 // in flight.
+//
+// -store points at a persistent result store (DESIGN.md Section 14):
+// cells already resident under this sweep's identity are adopted before
+// shards are planned — a fully warm sweep completes without launching a
+// single worker — and validated shard results merge back into the store
+// afterward. Only the coordinator touches the store directory; workers
+// never do, preserving the one-writer-per-directory contract.
 //
 // By default attempts run in-process. -proc launches each attempt as a
 // worker subprocess (this same binary in a hidden worker mode), so a
@@ -113,6 +121,7 @@ func main() {
 	stealAfter := flag.Duration("steal-after", 0, "age after which an idle slot speculatively duplicates a straggler (0 = off)")
 	unhealthyAfter := flag.Int("unhealthy-after", 3, "consecutive failures that quarantine a worker slot")
 	proc := flag.Bool("proc", false, "run each attempt as a worker subprocess instead of in-process")
+	storeDir := flag.String("store", "", "persistent result store directory: resident cells are adopted before shards are planned, and validated results merge back (coordinator-only; workers never touch the store)")
 	faultSpec := flag.String("fault", "", "inject failures: kind:shard:attempt[,...] with kind crash|hang|truncate|corrupt and '*' for every attempt")
 	allowPartial := flag.Bool("allow-partial", false, "exit 0 on a partial result (missing shards/cells are reported either way)")
 	quiet := flag.Bool("quiet", false, "suppress the per-shard event stream")
@@ -184,6 +193,10 @@ func main() {
 		fail("%v", err)
 	}
 
+	// The store attaches to the coordinator only: -proc workers never get
+	// -store, preserving the one-writer-per-directory discipline. Their
+	// validated results reach the store through the coordinator's merge.
+	coreCfg.StoreDir = *storeDir
 	fw, err := core.New(coreCfg)
 	if err != nil {
 		fail("%v", err)
@@ -252,10 +265,14 @@ func main() {
 
 	res, err := coord.Run(ctx, fw, cfg, launcher)
 	if err != nil {
+		fw.Close()
 		fail("%v", err)
 	}
 	fmt.Fprint(os.Stderr, res.Report())
 	renderExperiments(harness.FromResults(res.Set, sweep), *experiment)
+	if err := fw.Close(); err != nil {
+		fail("%v", err)
+	}
 	if !res.Complete() && !*allowPartial {
 		os.Exit(1)
 	}

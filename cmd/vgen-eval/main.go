@@ -12,6 +12,8 @@
 //	          [-shards N -shard I -emit out.jsonl]
 //	          [-emit-plan plan.jsonl] [-from-plan plan.jsonl -emit out.jsonl]
 //	          [-merge a.jsonl,b.jsonl,... [-allow-partial]]
+//	          [-store DIR [-store-stats]]
+//	          [-store DIR -store-query k=v,... | -store-diff A..B]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //	          [-experiment all|table1|table2|table3|table4|fig6|fig7|headline|ablation|corpus|gallery|passk|problems|lint|list]
 //
@@ -57,6 +59,16 @@
 // cells their absence left uncovered. Supervised end-to-end runs —
 // retry, work-stealing, resume — live in the vgen-coord command.
 //
+// -store DIR attaches the persistent result store (DESIGN.md Section 14):
+// evaluated cells persist under the sweep identity (backend tag + seed),
+// warm cells are served from disk with zero backend calls, and an
+// interrupted run resumes from the last durable cell. -store-stats prints
+// the hit/miss/persist counters after the run — a fully warm sweep
+// reports 0 misses. With -merge, shard results additionally merge back
+// into the store. -store-query lists resident cells by filter and
+// -store-diff compares two sweep identities ('[backend@]seed..[backend@]seed'),
+// both without building any backend.
+//
 // -cpuprofile/-memprofile capture pprof profiles from the real binary
 // under real sweep traffic, so hot spots can be read off production-shaped
 // runs rather than microbenches.
@@ -71,6 +83,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -78,6 +91,8 @@ import (
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/harness"
+	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 func fail(format string, args ...any) {
@@ -117,6 +132,10 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "remote backend: open-breaker cooldown before a half-open probe (0 = 1s)")
 	batchSize := flag.Int("batch", 0, "batch-capable backends: work items coalesced per CompleteBatch call (0 = 16)")
 	batchLinger := flag.Duration("batch-linger", 0, "batch-capable backends: max wait before flushing a partial batch (0 = flush when the feed drains)")
+	storeDir := flag.String("store", "", "persistent result store directory: warm cells are served from disk, new cells persist for later runs")
+	storeStats := flag.Bool("store-stats", false, "print the store's hit/miss/persist counters to stderr after the run")
+	storeQuery := flag.String("store-query", "", "list store cells matching a key=value,... filter (backend, seed, model, variant, problem, level, temp, n; 'all' lists everything) and exit")
+	storeDiff := flag.String("store-diff", "", "compare two sweep identities in the store, 'A..B' with each side '[backend@]seed', and exit")
 	flag.Parse()
 
 	sweep := eval.SweepOptions{N: *n}
@@ -173,6 +192,27 @@ func main() {
 		return
 	}
 
+	// Store query modes: read-only inspection of a result store, no
+	// framework (backend, corpus, models) construction at all.
+	if *storeQuery != "" || *storeDiff != "" {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "-store-query/-store-diff need -store DIR (the store to inspect)")
+			os.Exit(2)
+		}
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer st.Close()
+		switch {
+		case *storeQuery != "":
+			runStoreQuery(st, *storeQuery)
+		default:
+			runStoreDiff(st, *storeDiff)
+		}
+		return
+	}
+
 	if *experiment != "all" && !knownExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -experiment list)\n", *experiment)
 		os.Exit(2)
@@ -221,16 +261,22 @@ func main() {
 	if *merge != "" {
 		rejectNonCellMerge(*experiment) // before any file work
 		paths := strings.Split(*merge, ",")
-		h, rs, m, missingShards, err := core.HarnessFromShardsPartial(paths, sweep)
+		shardFiles, err := core.ReadShardFiles(paths)
 		if err != nil {
 			fail("%v", err)
 		}
+		rs, m, missingShards, err := wire.MergePartial(shardFiles)
+		if err != nil {
+			fail("%v", err)
+		}
+		h := harness.FromResults(rs, sweep)
 		if len(missingShards) > 0 && !*allowPartial {
 			fail("shard %d of %d missing (its cells are unserved); rerun it, or pass -allow-partial to render what is here",
 				missingShards[0], m.Shards)
 		}
 		fmt.Fprintf(os.Stderr, "merged %d of %d shards (backend %q, seed %d): %d cells\n",
 			m.Shards-len(missingShards), m.Shards, m.Backend, m.Seed, rs.Len())
+		mergeShardSummary(shardFiles, m, *storeDir)
 		renderExperiments(h, *experiment, true)
 		missing := rs.Missing()
 		if len(missingShards) > 0 {
@@ -302,6 +348,7 @@ func main() {
 			BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
 		},
 		BatchSize: *batchSize, BatchLinger: *batchLinger,
+		StoreDir: *storeDir,
 	})
 	if err != nil {
 		stopCPU()
@@ -336,8 +383,23 @@ func main() {
 	// memprofile failure never leaves a truncated cpuprofile behind.
 	stopCPU()
 
+	// Store accounting comes before Close (which seals the store). A
+	// persistence failure is loud: the rendered output above is correct,
+	// but the warmth it should have banked is not durable.
+	if fw.StoreSource != nil {
+		if *storeStats {
+			s := fw.StoreSource.Stats()
+			fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d persisted, %d resident\n",
+				s.Hits, s.Misses, s.Persisted, fw.Store.Len())
+		}
+		if err := fw.StoreSource.Err(); err != nil {
+			fw.Close()
+			fail("%v", err)
+		}
+	}
+
 	if err := fw.Close(); err != nil {
-		fail("record: %v", err)
+		fail("%v", err)
 	}
 
 	// A backend that failed to produce cells (a remote transport out of
@@ -410,5 +472,178 @@ func renderExperiments(h *harness.Harness, experiment string, cellOnly bool) {
 			continue
 		}
 		fmt.Println(r.Render(h))
+	}
+}
+
+// mergeShardSummary prints one line per merged shard, ascending by shard
+// index: its cell count and — when a store is attached — how many of its
+// cells the store already held versus newly banked by this merge. Shard
+// results merge back into the store so a later sweep under the same
+// identity starts warm from distributed work too.
+func mergeShardSummary(shardFiles []wire.Shard, m wire.Meta, storeDir string) {
+	var st *store.Store
+	id := store.Identity{Backend: m.Backend, Seed: m.Seed}
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+	sort.Slice(shardFiles, func(i, j int) bool { return shardFiles[i].Meta.Shard < shardFiles[j].Meta.Shard })
+	for _, sh := range shardFiles {
+		if st == nil {
+			fmt.Fprintf(os.Stderr, "shard %d: %d cell(s)\n", sh.Meta.Shard, sh.Set.Len())
+			continue
+		}
+		resident, fresh := 0, 0
+		for _, c := range sh.Set.Coords() {
+			cs, _ := sh.Set.Get(c)
+			if cs.Samples == 0 {
+				continue // unserved cell: nothing durable to bank
+			}
+			if old, ok := st.Get(id, c); ok && old == cs {
+				resident++
+				continue
+			}
+			if err := st.Put(id, c, cs); err != nil {
+				fail("%v", err)
+			}
+			fresh++
+		}
+		fmt.Fprintf(os.Stderr, "shard %d: %d cell(s), %d already in store, %d newly persisted\n",
+			sh.Meta.Shard, sh.Set.Len(), resident, fresh)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+// parseFilter parses the -store-query spec: a comma-separated key=value
+// list over backend, seed, model, variant, problem, level, temp (a float
+// temperature, keyed in thousandths like everything else), and n. "all"
+// (or empty) matches everything.
+func parseFilter(spec string) (store.Filter, error) {
+	var f store.Filter
+	if spec == "all" || spec == "" {
+		return f, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return f, fmt.Errorf("filter term %q is not key=value", kv)
+		}
+		switch k {
+		case "backend":
+			f.Backend = v
+		case "model":
+			f.Model = v
+		case "variant":
+			f.Variant = v
+		case "seed":
+			i, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("filter seed %q: %w", v, err)
+			}
+			f.Seed = &i
+		case "temp":
+			t, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return f, fmt.Errorf("filter temp %q: %w", v, err)
+			}
+			milli := gen.TempMilli(t)
+			f.TempMilli = &milli
+		case "problem", "level", "n":
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return f, fmt.Errorf("filter %s %q: %w", k, v, err)
+			}
+			switch k {
+			case "problem":
+				f.Problem = &i
+			case "level":
+				f.Level = &i
+			default:
+				f.N = &i
+			}
+		default:
+			return f, fmt.Errorf("unknown filter key %q (have backend, seed, model, variant, problem, level, temp, n)", k)
+		}
+	}
+	return f, nil
+}
+
+// runStoreQuery lists matching cells, one deterministic line each.
+func runStoreQuery(st *store.Store, spec string) {
+	f, err := parseFilter(spec)
+	if err != nil {
+		fail("-store-query: %v", err)
+	}
+	entries := st.Query(f)
+	for _, e := range entries {
+		fmt.Printf("%s\t%s/%s p%02d L%d t%.3f n%d\tsamples=%d compiled=%d passed=%d sum_lat=%g\n",
+			e.ID, e.Coord.Model, e.Coord.Variant, e.Coord.Problem, e.Coord.Level,
+			e.Coord.Temperature(), e.Coord.N,
+			e.Stats.Samples, e.Stats.Compiled, e.Stats.Passed, e.Stats.SumLat)
+	}
+	fmt.Fprintf(os.Stderr, "%d of %d cell(s) matched\n", len(entries), st.Len())
+}
+
+// resolveIdentity parses one -store-diff side, filling in the backend
+// tag when the side is a bare seed and exactly one resident identity
+// carries that seed (backend tags can embed seed-derived detail, so
+// distinct seeds routinely mean distinct tags).
+func resolveIdentity(st *store.Store, s string) (store.Identity, error) {
+	id, err := store.ParseIdentity(s)
+	if err != nil {
+		return id, err
+	}
+	if id.Backend == "" {
+		var tags []string
+		for _, have := range st.Identities() {
+			if have.Seed == id.Seed {
+				tags = append(tags, have.Backend)
+			}
+		}
+		if len(tags) != 1 {
+			return id, fmt.Errorf("store holds %d identit(ies) with seed %d; qualify the seed as 'backend@seed'", len(tags), id.Seed)
+		}
+		id.Backend = tags[0]
+	}
+	return id, nil
+}
+
+// runStoreDiff renders the coordinate-aligned comparison of two sweep
+// identities — the incremental-recompute view: what a seed or backend
+// change actually moved.
+func runStoreDiff(st *store.Store, spec string) {
+	aStr, bStr, ok := strings.Cut(spec, "..")
+	if !ok {
+		fail("-store-diff: %q is not 'A..B' (each side '[backend@]seed')", spec)
+	}
+	a, err := resolveIdentity(st, aStr)
+	if err != nil {
+		fail("-store-diff: %v", err)
+	}
+	b, err := resolveIdentity(st, bStr)
+	if err != nil {
+		fail("-store-diff: %v", err)
+	}
+	d := st.Diff(a, b)
+	fmt.Printf("diff %s .. %s: %d same, %d changed, %d only in A, %d only in B\n",
+		a, b, d.Same, len(d.Changed), len(d.OnlyA), len(d.OnlyB))
+	for _, e := range d.Changed {
+		fmt.Printf("changed %s/%s p%02d L%d t%.3f n%d\tA samples=%d compiled=%d passed=%d sum_lat=%g\tB samples=%d compiled=%d passed=%d sum_lat=%g\n",
+			e.Coord.Model, e.Coord.Variant, e.Coord.Problem, e.Coord.Level, e.Coord.Temperature(), e.Coord.N,
+			e.A.Samples, e.A.Compiled, e.A.Passed, e.A.SumLat,
+			e.B.Samples, e.B.Compiled, e.B.Passed, e.B.SumLat)
+	}
+	for _, c := range d.OnlyA {
+		fmt.Printf("only-A  %s/%s p%02d L%d t%.3f n%d\n", c.Model, c.Variant, c.Problem, c.Level, c.Temperature(), c.N)
+	}
+	for _, c := range d.OnlyB {
+		fmt.Printf("only-B  %s/%s p%02d L%d t%.3f n%d\n", c.Model, c.Variant, c.Problem, c.Level, c.Temperature(), c.N)
 	}
 }

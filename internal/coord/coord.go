@@ -204,6 +204,12 @@ type Result struct {
 	// MissingCells lists the failed shards' planned cells in canonical
 	// coordinate order — exactly what the merged Set does not cover.
 	MissingCells []eval.Coord
+	// StoreUsed reports whether the framework had a result store attached;
+	// StoreAdopted counts cells served from it without execution (before
+	// any shard was planned), StoreNew cells newly persisted by this run.
+	StoreUsed    bool
+	StoreAdopted int
+	StoreNew     int
 }
 
 // Complete reports whether every shard finished.
@@ -216,6 +222,7 @@ func (r *Result) Report() string {
 	var b strings.Builder
 	if r.Complete() {
 		fmt.Fprintf(&b, "coord: all %d shards complete (%d cells)\n", r.Meta.Shards, r.Set.Len())
+		r.reportStore(&b)
 		return b.String()
 	}
 	fmt.Fprintf(&b, "coord: PARTIAL result: %d of %d shard(s) failed after exhausting retries\n",
@@ -232,7 +239,16 @@ func (r *Result) Report() string {
 		}
 		fmt.Fprintf(&b, "    %+v\n", c)
 	}
+	r.reportStore(&b)
 	return b.String()
+}
+
+// reportStore appends the store traffic line — only when a store was
+// attached, so store-less output stays byte-identical.
+func (r *Result) reportStore(b *strings.Builder) {
+	if r.StoreUsed {
+		fmt.Fprintf(b, "coord: store: %d cell(s) adopted, %d new cell(s) persisted\n", r.StoreAdopted, r.StoreNew)
+	}
 }
 
 type shardPhase int
@@ -275,7 +291,9 @@ type attemptDone struct {
 
 type supervisor struct {
 	cfg      Config
+	fw       *core.Framework
 	launcher Launcher
+	adopted  *eval.ResultSet // store-resident cells, excluded from shard plans
 	shards   []*shardState
 	slots    []*slotState
 	results  chan attemptDone
@@ -300,7 +318,33 @@ func Run(ctx context.Context, fw *core.Framework, cfg Config, l Launcher) (*Resu
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &supervisor{cfg: cfg, launcher: l, results: make(chan attemptDone)}
+
+	// Adopt store-resident cells before planning: a warm store shrinks
+	// every shard's plan (and an entirely warm sweep skips supervision
+	// altogether). Without a store this is the identity transformation —
+	// the remaining plan is the full plan — so shard partitions are
+	// unchanged.
+	adopted, remaining, err := fw.AdoptStoreCells(cfg.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	s := &supervisor{cfg: cfg, fw: fw, launcher: l, adopted: adopted, results: make(chan attemptDone)}
+	if remaining.Len() == 0 {
+		// Everything resident: the result is assembled without dispatching
+		// a single worker (the "warm sweep, zero backend calls" fast path).
+		res := &Result{
+			Set:  adopted,
+			Meta: fw.ShardMeta(-1, cfg.Shards),
+		}
+		for i := 0; i < cfg.Shards; i++ {
+			s.emit(Event{Kind: EventResume, Shard: i})
+			res.Shards = append(res.Shards, ShardStatus{Shard: i, Done: true, Resumed: true})
+		}
+		if err := s.accountStore(res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 
 	// Sweep attempt debris from a previous coordinator life; validated
 	// shard results are the only state that survives a restart.
@@ -312,10 +356,11 @@ func Run(ctx context.Context, fw *core.Framework, cfg Config, l Launcher) (*Resu
 	}
 
 	for i := 0; i < cfg.Shards; i++ {
-		plan, meta, err := fw.ShardPlan(cfg.Experiments, i, cfg.Shards)
+		plan, err := remaining.Shard(i, cfg.Shards)
 		if err != nil {
 			return nil, err
 		}
+		meta := fw.ShardMeta(i, cfg.Shards)
 		sh := &shardState{
 			idx: i, meta: meta, coords: plan.Coords(),
 			planPath:   filepath.Join(cfg.Dir, fmt.Sprintf("shard-%d.plan.jsonl", i)),
@@ -622,18 +667,67 @@ func (s *supervisor) finish() (*Result, error) {
 			res.MissingCells = append(res.MissingCells, sh.coords...)
 		}
 	}
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("coord: every shard failed; last error: %s", s.shards[0].lastErr)
-	}
 	sort.Slice(res.MissingCells, func(i, j int) bool {
 		return res.MissingCells[i].Less(res.MissingCells[j])
 	})
-	set, meta, _, err := core.MergeShardFilesPartial(paths)
-	if err != nil {
-		return nil, err
+	var set *eval.ResultSet
+	var meta wire.Meta
+	if len(paths) == 0 {
+		if s.adopted.Len() == 0 {
+			return nil, fmt.Errorf("coord: every shard failed; last error: %s", s.shards[0].lastErr)
+		}
+		// Every dispatched shard failed, but the store had already paid for
+		// part of the sweep: degrade to the adopted cells instead of dying.
+		set, meta = eval.NewResultSet(), s.fw.ShardMeta(-1, s.cfg.Shards)
+	} else {
+		var err error
+		set, meta, _, err = core.MergeShardFilesPartial(paths)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Adopted cells and computed cells are disjoint by construction (the
+	// shard plans are the full plan minus the adopted set), so the merge
+	// is a plain union.
+	for _, c := range s.adopted.Coords() {
+		cs, _ := s.adopted.Get(c)
+		if err := set.Put(c, cs); err != nil {
+			return nil, err
+		}
 	}
 	res.Set, res.Meta = set, meta
+	if err := s.accountStore(res); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// accountStore merges the run's validated cells back into the result
+// store (Put dedups identical cells; a conflicting cell is upstream
+// nondeterminism and fails the run loudly) and fills the Result's store
+// counters. A store-less run is a no-op.
+func (s *supervisor) accountStore(res *Result) error {
+	st := s.fw.Store
+	if st == nil {
+		return nil
+	}
+	res.StoreUsed = true
+	res.StoreAdopted = s.adopted.Len()
+	id := s.fw.SweepIdentity()
+	for _, c := range res.Set.Coords() {
+		cs, _ := res.Set.Get(c)
+		if cs.Samples == 0 {
+			continue // the backend declined the cell; nothing durable to say
+		}
+		if err := st.Put(id, c, cs); err != nil {
+			return err
+		}
+	}
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	res.StoreNew = st.Added()
+	return nil
 }
 
 // validateResultFile accepts path only if it holds a complete,

@@ -17,6 +17,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/problems"
+	"repro/internal/store"
 
 	// Register the remote backend (it lives outside gen to keep the
 	// transport stack out of the interface package). The facade is where
@@ -57,6 +58,15 @@ type Config struct {
 	// the engine defaults. Batch composition never changes results.
 	BatchSize   int
 	BatchLinger time.Duration
+
+	// StoreDir attaches a persistent result store rooted at this
+	// directory: evaluated cells persist there keyed by sweep identity
+	// (backend tag + seed), warm cells are served from disk instead of
+	// re-evaluated, and an interrupted sweep resumes from the last durable
+	// cell. "" runs without a store. The store assumes one writing process
+	// per directory; give concurrent worker processes their own runs and
+	// merge results instead.
+	StoreDir string
 }
 
 // Framework is a fully wired evaluation stack.
@@ -68,6 +78,15 @@ type Framework struct {
 	// Family is the simulated-model substrate when the backend is the
 	// family line-up (possibly wrapped by a recorder); nil otherwise.
 	Family *model.Family
+
+	// Store and StoreSource are the persistent result store and the
+	// caching cell source over it; both nil unless Config.StoreDir is set.
+	Store       *store.Store
+	StoreSource *store.Source
+
+	// source is the cell provider sweeps execute through: the StoreSource
+	// when a store is attached, the bare Runner otherwise.
+	source eval.PlanRunner
 
 	cfg     Config
 	recFile *os.File
@@ -128,24 +147,51 @@ func New(cfg Config) (*Framework, error) {
 	runner.BatchSize = cfg.BatchSize
 	runner.BatchLinger = cfg.BatchLinger
 	fw.Runner = runner
+	fw.source = runner
 	fw.Harness = &harness.Harness{Runner: runner, Opts: cfg.Sweep, Seed: cfg.Seed}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			fw.Close()
+			return nil, err
+		}
+		fw.Store = st
+		fw.StoreSource = store.Cached(runner, st, fw.SweepIdentity())
+		fw.source = fw.StoreSource
+		// Renderers read through the cached source too, so a direct
+		// (unsharded) render run warms and is warmed by the store.
+		fw.Harness.Source = fw.StoreSource
+	}
 	return fw, nil
 }
 
-// Close flushes and closes the recording sink, if any, and reports the
-// first recording error. Safe to call on frameworks that record nothing.
+// SweepIdentity is the identity this framework's cells persist under: the
+// unwrapped backend tag (matching shard metadata) plus the runner seed.
+func (f *Framework) SweepIdentity() store.Identity {
+	return store.Identity{Backend: f.backendTag, Seed: f.cfg.Seed}
+}
+
+// Close flushes and closes the recording sink and the result store, if
+// attached, reporting the first error. Safe to call on frameworks with
+// neither, and idempotent.
 func (f *Framework) Close() error {
-	if f.recFile == nil {
-		return nil
+	var err error
+	if f.recFile != nil {
+		err = f.rec.Err()
+		if ferr := f.recBuf.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.recFile.Close(); err == nil {
+			err = cerr
+		}
+		f.recFile = nil
 	}
-	err := f.rec.Err()
-	if ferr := f.recBuf.Flush(); err == nil {
-		err = ferr
+	if f.Store != nil {
+		if serr := f.Store.Close(); err == nil {
+			err = serr
+		}
+		f.Store = nil
 	}
-	if cerr := f.recFile.Close(); err == nil {
-		err = cerr
-	}
-	f.recFile = nil
 	return err
 }
 

@@ -31,6 +31,41 @@ func (f *Framework) shardMeta(shard, shards int) wire.Meta {
 	}
 }
 
+// ShardMeta exposes the sweep identity for shard i of n — what a
+// coordinator stamps on shard plans it builds itself (see AdoptStoreCells).
+func (f *Framework) ShardMeta(shard, shards int) wire.Meta {
+	return f.shardMeta(shard, shards)
+}
+
+// AdoptStoreCells splits the experiments' full plan against the result
+// store: cells already resident under this sweep's identity come back as
+// an adopted ResultSet (no execution), everything else as the remaining
+// plan. Without a store the adopted set is empty and the remaining plan
+// is the full plan — callers need no special case.
+func (f *Framework) AdoptStoreCells(experiments []string) (*eval.ResultSet, *eval.Plan, error) {
+	full, err := f.Harness.PlanFor(experiments)
+	if err != nil {
+		return nil, nil, err
+	}
+	adopted := eval.NewResultSet()
+	if f.Store == nil {
+		return adopted, full, nil
+	}
+	id := f.SweepIdentity()
+	remaining := eval.NewPlan()
+	for _, q := range full.Queries() {
+		c := q.Coord()
+		if st, ok := f.Store.Get(id, c); ok {
+			if err := adopted.Put(c, st); err != nil {
+				return nil, nil, err
+			}
+		} else if err := remaining.Add(q); err != nil {
+			return nil, nil, err
+		}
+	}
+	return adopted, remaining, nil
+}
+
 // ShardPlan builds shard i of n of the query plan for the named
 // cell-based experiments ("all" = every cell-based artifact).
 func (f *Framework) ShardPlan(experiments []string, shard, shards int) (*eval.Plan, wire.Meta, error) {
@@ -57,7 +92,7 @@ func (f *Framework) ExecuteShardCtx(ctx context.Context, experiments []string, s
 	if err != nil {
 		return nil, wire.Meta{}, err
 	}
-	rs, err := f.Runner.RunPlanCtx(ctx, plan)
+	rs, err := f.source.RunPlanCtx(ctx, plan)
 	if err != nil {
 		return nil, wire.Meta{}, err
 	}
@@ -122,15 +157,15 @@ func (f *Framework) RunPlanFileCtx(ctx context.Context, planPath, outPath string
 	if err != nil {
 		return err
 	}
-	rs, err := f.Runner.RunPlanCtx(ctx, plan)
+	rs, err := f.source.RunPlanCtx(ctx, plan)
 	if err != nil {
 		return err
 	}
 	return WriteFileAtomic(outPath, func(out *os.File) error { return wire.WriteResults(out, m, rs) })
 }
 
-// readShardFiles decodes shard result files, validating each as it loads.
-func readShardFiles(paths []string) ([]wire.Shard, error) {
+// ReadShardFiles decodes shard result files, validating each as it loads.
+func ReadShardFiles(paths []string) ([]wire.Shard, error) {
 	shards := make([]wire.Shard, 0, len(paths))
 	for _, path := range paths {
 		in, err := os.Open(path)
@@ -150,7 +185,7 @@ func readShardFiles(paths []string) ([]wire.Shard, error) {
 // MergeShardFiles reads and merges shard result files, in any order,
 // enforcing the wire package's completeness and identity checks.
 func MergeShardFiles(paths []string) (*eval.ResultSet, wire.Meta, error) {
-	shards, err := readShardFiles(paths)
+	shards, err := ReadShardFiles(paths)
 	if err != nil {
 		return nil, wire.Meta{}, err
 	}
@@ -161,7 +196,7 @@ func MergeShardFiles(paths []string) (*eval.ResultSet, wire.Meta, error) {
 // indices with no file are reported (ascending), not refused. Identity
 // mismatches, duplicate shards, and overlapping cells remain errors.
 func MergeShardFilesPartial(paths []string) (*eval.ResultSet, wire.Meta, []int, error) {
-	shards, err := readShardFiles(paths)
+	shards, err := ReadShardFiles(paths)
 	if err != nil {
 		return nil, wire.Meta{}, nil, err
 	}

@@ -193,8 +193,11 @@ type cacheKey struct {
 }
 
 type cacheShard struct {
-	mu sync.Mutex
-	m  map[cacheKey]*outcomeSlot
+	mu      sync.Mutex
+	m       map[cacheKey]*outcomeSlot
+	order   []cacheKey // insertion order, for FIFO eviction
+	bytes   int64      // accounted size of resident entries
+	evicted int64
 }
 
 // outcomeSlot dedups in-flight evaluations: concurrent workers missing on
@@ -259,6 +262,15 @@ type Runner struct {
 	BatchSize   int
 	BatchLinger time.Duration
 
+	// CacheBytes bounds the sharded outcome cache's accounted size: 0
+	// means DefaultCacheBytes, negative disables the bound. The cache is
+	// the same leak class the testbench AST cache fixed — an unbounded map
+	// grows without limit in long-lived store-backed server processes that
+	// churn through many distinct completions. Eviction is FIFO per shard
+	// and determinism-free: outcomes are pure functions of their key, so
+	// an evicted-and-revisited completion recomputes to identical bytes.
+	CacheBytes int64
+
 	tag    string // Backend.Describe(), captured once for cache keys
 	shards [numShards]cacheShard
 
@@ -290,6 +302,37 @@ func (r *Runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// DefaultCacheBytes is the outcome cache's accounted-size bound when
+// Runner.CacheBytes is unset — generous enough that a paper-scale sweep
+// never evicts, small enough that a server process has a hard ceiling.
+const DefaultCacheBytes = 64 << 20
+
+// outcomeEntryOverhead approximates one cache entry's fixed cost beyond
+// its key strings: map bucket share, slot, outcome, and the order-slice
+// element. Accounting is a bound, not a profile — close is good enough.
+const outcomeEntryOverhead = 256
+
+func entryCost(k cacheKey) int64 {
+	return int64(len(k.backend)) + int64(len(k.completion)) + outcomeEntryOverhead
+}
+
+// shardCacheBudget is the per-shard share of the cache bound, or 0 for
+// unbounded.
+func (r *Runner) shardCacheBudget() int64 {
+	total := r.CacheBytes
+	if total == 0 {
+		total = DefaultCacheBytes
+	}
+	if total < 0 {
+		return 0
+	}
+	b := total / numShards
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
 func (r *Runner) evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
 	key := cacheKey{backend: r.tag, problem: p.Number, level: level, completion: completion}
 	sh := &r.shards[key.shard()]
@@ -298,10 +341,46 @@ func (r *Runner) evaluate(p *problems.Problem, level problems.Level, completion 
 	if !ok {
 		s = &outcomeSlot{}
 		sh.m[key] = s
+		sh.order = append(sh.order, key)
+		sh.bytes += entryCost(key)
+		// FIFO eviction, never the entry just inserted: a concurrent worker
+		// still holding an evicted slot finishes its once harmlessly — the
+		// outcome is pure, so a later recompute is byte-identical.
+		if budget := r.shardCacheBudget(); budget > 0 {
+			for sh.bytes > budget && len(sh.order) > 1 {
+				old := sh.order[0]
+				sh.order = sh.order[1:]
+				delete(sh.m, old)
+				sh.bytes -= entryCost(old)
+				sh.evicted++
+			}
+		}
 	}
 	sh.mu.Unlock()
 	s.once.Do(func() { s.o = Evaluate(p, level, completion) })
 	return s.o
+}
+
+// CacheStats summarizes the outcome cache's occupancy and churn.
+type CacheStats struct {
+	Entries int
+	Bytes   int64
+	Evicted int64
+}
+
+// CacheStats reports the outcome cache's current accounted size and
+// lifetime eviction count, aggregated across shards.
+func (r *Runner) CacheStats() CacheStats {
+	var cs CacheStats
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		cs.Entries += len(sh.m)
+		cs.Bytes += sh.bytes
+		cs.Evicted += sh.evicted
+		sh.mu.Unlock()
+	}
+	return cs
 }
 
 // Query identifies one evaluation cell sample request.
@@ -693,6 +772,17 @@ func (r *Runner) Failures() []CellFailure {
 	r.failMu.Lock()
 	defer r.failMu.Unlock()
 	return append([]CellFailure(nil), r.allFailures...)
+}
+
+// LastFailures reports only the most recent EvaluateBatch* call's
+// degraded cells. This is the caching layer's exclusion list: a cell
+// that failed in this batch must be neither persisted nor returned as a
+// result, while an earlier render's transient failure on a coordinate
+// this call served fine must not evict the fresh cell.
+func (r *Runner) LastFailures() []CellFailure {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return append([]CellFailure(nil), r.lastFailures...)
 }
 
 // Temperatures is the paper's sweep set.

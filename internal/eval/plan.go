@@ -208,6 +208,15 @@ type CellSource interface {
 	Cells(qs []Query) []CellStats
 }
 
+// PlanRunner is a CellSource that can also execute a whole plan under a
+// context — the contract the shard-execution layer programs against. The
+// Runner implements it by computing; a store-backed cached source
+// implements it by serving durable cells and delegating only the misses.
+type PlanRunner interface {
+	CellSource
+	RunPlanCtx(ctx context.Context, p *Plan) (*ResultSet, error)
+}
+
 // Cells implements CellSource on the Runner by fanning the whole batch
 // across the worker pool.
 func (r *Runner) Cells(qs []Query) []CellStats { return r.EvaluateBatch(qs) }
@@ -242,11 +251,9 @@ func (r *Runner) RunPlanCtx(ctx context.Context, p *Plan) (*ResultSet, error) {
 	// Only this call's failures matter here: an earlier render's transient
 	// failure on a coordinate this run served fine must not evict the cell.
 	failed := map[Coord]bool{}
-	r.failMu.Lock()
-	for _, f := range r.lastFailures {
+	for _, f := range r.LastFailures() {
 		failed[f.Coord] = true
 	}
-	r.failMu.Unlock()
 	rs := NewResultSet()
 	for i, q := range qs {
 		if failed[q.Coord()] {

@@ -17,9 +17,11 @@ import (
 // table. corpus joins for maporder only (its document order feeds the
 // tokenizer and LM training streams); remote joins because its samples
 // flow straight into CellStats — its transport clock lives behind the
-// allow-listed seam.
+// allow-listed seam; store joins because its segments replay into
+// rendered tables, so a durability or ordering bug there resurfaces as
+// a shifted artifact on the next warm run.
 var outputBearing = []string{
-	"wire", "eval", "harness", "core", "coord", "gen", "model", "ngram", "bpe", "remote",
+	"wire", "eval", "harness", "core", "coord", "gen", "model", "ngram", "bpe", "remote", "store",
 }
 
 // calleeFunc resolves the called function or method, nil for indirect

@@ -1,0 +1,145 @@
+package store
+
+// Query-layer tests: filtered listings, identity enumeration, and the
+// two-identity Diff, all with deterministic (sorted, never map-order)
+// output.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func intp(v int) *int       { return &v }
+func int64p(v int64) *int64 { return &v }
+
+// queryStore builds a store with a small deliberate cell population
+// under two identities.
+func queryStore(t *testing.T) (*Store, Identity, Identity) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	a := Identity{Backend: "backend A", Seed: 1}
+	b := Identity{Backend: "backend B", Seed: 2}
+	put := func(id Identity, c eval.Coord, st eval.CellStats) {
+		t.Helper()
+		if err := s.Put(id, c, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Identity A: problems 1..3 at two levels; identity B shares problem
+	// 1 (identical), differs on problem 2, and lacks problem 3 but adds 4.
+	for p := 1; p <= 3; p++ {
+		for _, lvl := range []int{0, 2} {
+			put(a, mkCoord(p, lvl, 500, 4), mkStats(p))
+		}
+	}
+	put(b, mkCoord(1, 0, 500, 4), mkStats(1))
+	put(b, mkCoord(1, 2, 500, 4), mkStats(1))
+	put(b, mkCoord(2, 0, 500, 4), eval.CellStats{Samples: 4, Compiled: 2, Passed: 1, SumLat: 9})
+	put(b, mkCoord(4, 0, 500, 4), mkStats(4))
+	return s, a, b
+}
+
+func TestQueryFilters(t *testing.T) {
+	s, a, b := queryStore(t)
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"everything", Filter{}, 10},
+		{"by backend", Filter{Backend: a.Backend}, 6},
+		{"by seed", Filter{Seed: int64p(b.Seed)}, 4},
+		{"by problem", Filter{Problem: intp(1)}, 4},
+		{"by level", Filter{Level: intp(2)}, 4},
+		{"by backend and problem", Filter{Backend: b.Backend, Problem: intp(2)}, 1},
+		{"by model", Filter{Model: "CodeGen-16B"}, 10},
+		{"by absent model", Filter{Model: "nobody"}, 0},
+		{"by variant", Filter{Variant: "FT"}, 10},
+		{"by temp", Filter{TempMilli: intp(500)}, 10},
+		{"by absent n", Filter{N: intp(25)}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := s.Query(tc.f)
+			if len(got) != tc.want {
+				t.Fatalf("matched %d cells, want %d", len(got), tc.want)
+			}
+			for _, e := range got {
+				if !tc.f.match(e.ID, e.Coord) {
+					t.Fatalf("entry %+v does not match its own filter", e)
+				}
+			}
+		})
+	}
+}
+
+func TestQueryOrderingDeterministic(t *testing.T) {
+	s, _, _ := queryStore(t)
+	first := s.Query(Filter{})
+	for i := 0; i < 5; i++ {
+		if !reflect.DeepEqual(s.Query(Filter{}), first) {
+			t.Fatal("Query order varies across calls (map-order leak)")
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		p, q := first[i-1], first[i]
+		if p.ID.Backend > q.ID.Backend {
+			t.Fatalf("entries %d,%d out of identity order", i-1, i)
+		}
+		if p.ID == q.ID && !p.Coord.Less(q.Coord) {
+			t.Fatalf("entries %d,%d out of coordinate order", i-1, i)
+		}
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	s, a, b := queryStore(t)
+	got := s.Identities()
+	want := []Identity{a, b}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Identities() = %v, want %v", got, want)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s, a, b := queryStore(t)
+	d := s.Diff(a, b)
+	// Shared and identical: problem 1 at both levels.
+	if d.Same != 2 {
+		t.Fatalf("Same = %d, want 2", d.Same)
+	}
+	// Shared and changed: problem 2 level 0.
+	if len(d.Changed) != 1 || d.Changed[0].Coord != mkCoord(2, 0, 500, 4) {
+		t.Fatalf("Changed = %+v", d.Changed)
+	}
+	if d.Changed[0].A == d.Changed[0].B {
+		t.Fatal("Changed entry carries identical stats")
+	}
+	// Only in A: problem 2 level 2, problem 3 both levels.
+	wantOnlyA := []eval.Coord{mkCoord(2, 2, 500, 4), mkCoord(3, 0, 500, 4), mkCoord(3, 2, 500, 4)}
+	if !reflect.DeepEqual(d.OnlyA, wantOnlyA) {
+		t.Fatalf("OnlyA = %+v, want %+v", d.OnlyA, wantOnlyA)
+	}
+	// Only in B: problem 4.
+	if len(d.OnlyB) != 1 || d.OnlyB[0] != mkCoord(4, 0, 500, 4) {
+		t.Fatalf("OnlyB = %+v", d.OnlyB)
+	}
+
+	// Direction flips cleanly.
+	r := s.Diff(b, a)
+	if !reflect.DeepEqual(r.OnlyA, d.OnlyB) || !reflect.DeepEqual(r.OnlyB, d.OnlyA) || r.Same != d.Same || len(r.Changed) != len(d.Changed) {
+		t.Fatalf("reverse diff is not the mirror: %+v vs %+v", r, d)
+	}
+
+	// Self-diff: everything identical.
+	self := s.Diff(a, a)
+	if self.Same != 6 || len(self.OnlyA)+len(self.OnlyB)+len(self.Changed) != 0 {
+		t.Fatalf("self diff = %+v", self)
+	}
+}

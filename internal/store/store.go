@@ -1,0 +1,498 @@
+// Package store is the persistent result store: a crash-safe,
+// append-only on-disk cache of evaluated cells, keyed by the full sweep
+// identity — the backend's Describe() tag plus the runner seed
+// (Identity) and the wire-stable cell address (eval.Coord) — holding
+// eval.CellStats. A warm sweep becomes disk reads instead of
+// generate+compile+simulate passes; an interrupted sweep resumes from
+// the last durable cell.
+//
+// On-disk format: a directory of segment files (cells-000001.log, ...),
+// each a sequence of newline-terminated records
+//
+//	s1 <crc32-hex8> {"backend":...,"seed":...,"model":...,...,"sum_lat":...}
+//
+// where the checksum covers the JSON payload and the payload reuses the
+// wire package's field names. The store is a write-ahead log with no
+// compaction: cells are immutable facts (a coordinate under one identity
+// has exactly one value — anything else is nondeterminism and is
+// rejected), so append-only is the whole story and segments rotate at a
+// size threshold purely to bound single-file loss surfaces.
+//
+// Crash discipline, in the order it matters:
+//
+//   - Appends are buffered; Sync flushes and fsyncs the active segment.
+//     The caching layer syncs at cell-chunk granularity, so a killed
+//     sweep loses at most the unsynced tail of work.
+//   - Open rebuilds the in-memory index by scanning every segment. A
+//     torn final record of the final segment — the unique signature of a
+//     crash mid-append — is truncated away and the store continues from
+//     the last durable cell. Damage anywhere else (bad checksum or
+//     garbage mid-file, a torn tail in a non-final segment, conflicting
+//     duplicate cells) is corruption and rejects the store loudly:
+//     serving a silently wrong cell into a rendered table is the one
+//     unacceptable failure mode.
+//   - Invalidation is identity-keyed, never manual: a corpus, backend,
+//     or seed change alters the identity under which cells are looked
+//     up, so stale cells are simply never hit (and remain queryable as
+//     sweep history via Query/Diff).
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/eval"
+)
+
+// Identity is the sweep half of a cell's key: which backend
+// configuration produced the cell (the backend's Describe() tag — the
+// unwrapped tag, matching wire.Meta) and under which runner seed. Two
+// sweeps that differ in either share nothing.
+type Identity struct {
+	Backend string
+	Seed    int64
+}
+
+// String renders the identity in the CLI's "backend@seed" syntax.
+func (id Identity) String() string { return fmt.Sprintf("%s@%d", id.Backend, id.Seed) }
+
+// ParseIdentity parses "backend@seed" (splitting at the last '@', since
+// backend tags contain spaces and colons but never '@'). A bare seed is
+// accepted with an empty backend — the CLI fills in the store's sole
+// backend tag when it is unambiguous.
+func ParseIdentity(s string) (Identity, error) {
+	i := strings.LastIndex(s, "@")
+	seedStr := s
+	backend := ""
+	if i >= 0 {
+		backend, seedStr = s[:i], s[i+1:]
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return Identity{}, fmt.Errorf("store: identity %q: seed %q is not an integer", s, seedStr)
+	}
+	return Identity{Backend: backend, Seed: seed}, nil
+}
+
+// key is one cell's full address.
+type key struct {
+	id Identity
+	c  eval.Coord
+}
+
+// recordPrefix versions the record framing; bump it if the line format
+// (not the JSON payload — that has its own field names) ever changes.
+const recordPrefix = "s1"
+
+// maxSegmentBytes is the default segment rotation threshold. Rotation
+// bounds how much one file-level disaster can take down; it has no
+// semantic meaning.
+const maxSegmentBytes = 8 << 20
+
+// recordLine is the JSON payload of one record: identity + coordinate +
+// stats, with the wire package's field names so the two serializations
+// never drift apart in review.
+type recordLine struct {
+	Backend   string  `json:"backend"`
+	Seed      int64   `json:"seed"`
+	Model     string  `json:"model"`
+	Variant   string  `json:"variant"`
+	Problem   int     `json:"problem"`
+	Level     int     `json:"level"`
+	TempMilli int     `json:"temp_milli"`
+	N         int     `json:"n"`
+	Samples   int     `json:"samples"`
+	Compiled  int     `json:"compiled"`
+	Passed    int     `json:"passed"`
+	SumLat    float64 `json:"sum_lat"`
+}
+
+// checkStats mirrors the wire package's cell validation: the verdict
+// pipeline only simulates samples that compile, so Passed <= Compiled <=
+// Samples <= N, and the latency sum must be a finite non-negative float.
+func checkStats(c eval.Coord, st eval.CellStats) error {
+	if st.Samples < 0 || st.Samples > c.N ||
+		st.Compiled < 0 || st.Compiled > st.Samples ||
+		st.Passed < 0 || st.Passed > st.Compiled {
+		return fmt.Errorf("store: cell %+v: inconsistent stats %+v", c, st)
+	}
+	if math.IsNaN(st.SumLat) || math.IsInf(st.SumLat, 0) || st.SumLat < 0 {
+		return fmt.Errorf("store: cell %+v: bad latency sum %v", c, st.SumLat)
+	}
+	return nil
+}
+
+// encodeRecord renders one full record line, checksum and newline
+// included.
+func encodeRecord(id Identity, c eval.Coord, st eval.CellStats) ([]byte, error) {
+	if id.Backend == "" {
+		return nil, fmt.Errorf("store: empty backend tag in identity")
+	}
+	if !utf8.ValidString(id.Backend) {
+		// JSON transport replaces invalid UTF-8 with U+FFFD, so a tag that
+		// is not valid UTF-8 would silently decode to a different identity.
+		return nil, fmt.Errorf("store: backend tag %q is not valid UTF-8", id.Backend)
+	}
+	if _, err := c.Query(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := checkStats(c, st); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(recordLine{
+		Backend: id.Backend, Seed: id.Seed,
+		Model: c.Model, Variant: c.Variant, Problem: c.Problem,
+		Level: c.Level, TempMilli: c.TempMilli, N: c.N,
+		Samples: st.Samples, Compiled: st.Compiled, Passed: st.Passed,
+		SumLat: st.SumLat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(recordPrefix)+1+8+1+len(payload)+1)
+	line = append(line, recordPrefix...)
+	line = append(line, ' ')
+	line = fmt.Appendf(line, "%08x", crc32.ChecksumIEEE(payload))
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeRecord parses and validates one record line (without its
+// trailing newline). Every failure mode — framing, checksum, JSON,
+// coordinate resolvability, stat consistency — is an error; the caller
+// decides whether the position makes it a torn tail or corruption.
+func decodeRecord(line []byte) (Identity, eval.Coord, eval.CellStats, error) {
+	var zid Identity
+	var zc eval.Coord
+	var zst eval.CellStats
+	rest, ok := bytes.CutPrefix(line, []byte(recordPrefix+" "))
+	if !ok {
+		return zid, zc, zst, fmt.Errorf("store: record does not start with %q", recordPrefix)
+	}
+	if len(rest) < 9 || rest[8] != ' ' {
+		return zid, zc, zst, fmt.Errorf("store: record missing checksum field")
+	}
+	sum, err := strconv.ParseUint(string(rest[:8]), 16, 32)
+	if err != nil {
+		return zid, zc, zst, fmt.Errorf("store: bad checksum field: %w", err)
+	}
+	payload := rest[9:]
+	if crc32.ChecksumIEEE(payload) != uint32(sum) {
+		return zid, zc, zst, fmt.Errorf("store: record checksum mismatch")
+	}
+	var rl recordLine
+	if err := json.Unmarshal(payload, &rl); err != nil {
+		return zid, zc, zst, fmt.Errorf("store: record payload: %w", err)
+	}
+	if rl.Backend == "" {
+		return zid, zc, zst, fmt.Errorf("store: record has empty backend tag")
+	}
+	id := Identity{Backend: rl.Backend, Seed: rl.Seed}
+	c := eval.Coord{
+		Model: rl.Model, Variant: rl.Variant, Problem: rl.Problem,
+		Level: rl.Level, TempMilli: rl.TempMilli, N: rl.N,
+	}
+	if _, err := c.Query(); err != nil {
+		return zid, zc, zst, fmt.Errorf("store: %w", err)
+	}
+	st := eval.CellStats{
+		Samples: rl.Samples, Compiled: rl.Compiled, Passed: rl.Passed,
+		SumLat: rl.SumLat,
+	}
+	if err := checkStats(c, st); err != nil {
+		return zid, zc, zst, err
+	}
+	return id, c, st, nil
+}
+
+// Store is the open result store: an in-memory cell index over the
+// segment log, with an append handle on the final segment. All methods
+// are safe for concurrent use — the coordinator's in-process worker
+// slots persist cells from several goroutines.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	cells  map[key]eval.CellStats
+	seg    *os.File
+	bw     *bufio.Writer
+	segIdx int   // active segment ordinal (1-based)
+	segLen int64 // bytes in the active segment, buffered included
+	maxSeg int64
+	dirty  bool  // unsynced appends outstanding
+	added  int   // cells appended this session
+	err    error // first write/sync failure, sticky
+}
+
+func segName(idx int) string { return fmt.Sprintf("cells-%06d.log", idx) }
+
+// Open opens (creating if needed) the store rooted at dir, rebuilding
+// the index from every segment. A torn final record of the final segment
+// is truncated away (crash recovery); any other damage is an error.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "cells-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs) // zero-padded ordinals: lexicographic == numeric
+
+	s := &Store{dir: dir, cells: map[key]eval.CellStats{}, maxSeg: maxSegmentBytes, segIdx: 1}
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		n, err := s.loadSegment(seg, final)
+		if err != nil {
+			return nil, err
+		}
+		if final {
+			s.segLen = n
+			idx, perr := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(filepath.Base(seg), "cells-"), ".log"))
+			if perr != nil {
+				return nil, fmt.Errorf("store: segment name %s: %w", seg, perr)
+			}
+			s.segIdx = idx
+		}
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, segName(s.segIdx)), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.seg = f
+	s.bw = bufio.NewWriterSize(f, 1<<16)
+	return s, nil
+}
+
+// loadSegment replays one segment into the index and returns its durable
+// length. In the final segment a bad last record — torn write, whether
+// or not the newline made it to disk — is truncated away; a bad record
+// with data after it, or any bad record in an earlier segment, is
+// corruption.
+func (s *Store) loadSegment(path string, final bool) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	var off int64
+	truncateTail := func() (int64, error) {
+		if err := os.Truncate(path, off); err != nil {
+			return 0, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+		return off, nil
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		last := nl < 0 || nl == len(data)-1
+		var line []byte
+		if nl < 0 {
+			line = data
+		} else {
+			line = data[:nl]
+		}
+		id, c, st, derr := decodeRecord(line)
+		if derr != nil {
+			if final && last {
+				// The signature of a crash mid-append: a record that does not
+				// decode, as the last line of the last segment. Drop the torn
+				// tail and continue from the last durable record.
+				return truncateTail()
+			}
+			return 0, fmt.Errorf("store: %s: offset %d: %w", path, off, derr)
+		}
+		if nl < 0 {
+			// The record decodes but lost its newline: the next append would
+			// corrupt it, so drop it too — one recomputed cell, not a risk.
+			// Only the final segment may end without a newline (earlier ones
+			// were sealed by rotation).
+			if !final {
+				return 0, fmt.Errorf("store: %s: offset %d: record missing newline mid-store", path, off)
+			}
+			return truncateTail()
+		}
+		// A checksummed record can't be a torn write, so a conflicting
+		// duplicate is always corruption (or upstream nondeterminism) —
+		// never recovered from, wherever it sits.
+		k := key{id: id, c: c}
+		if old, dup := s.cells[k]; dup && old != st {
+			return 0, fmt.Errorf("store: %s: offset %d: cell %s %+v recorded twice with conflicting stats (%+v vs %+v)",
+				path, off, id, c, old, st)
+		}
+		s.cells[k] = st
+		off += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	return off, nil
+}
+
+// Get returns the stats stored for one cell.
+func (s *Store) Get(id Identity, c eval.Coord) (eval.CellStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.cells[key{id: id, c: c}]
+	return st, ok
+}
+
+// Len reports the number of resident cells across all identities.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// Added reports how many cells this session has appended — the
+// "persisted new cells" number ops output surfaces.
+func (s *Store) Added() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.added
+}
+
+// Err reports the first append/sync failure, if any. Once set, the
+// store serves reads but accepts no further writes.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Put appends one cell. Re-putting an identical cell is a no-op;
+// putting a conflicting value for a resident cell is rejected — under
+// one identity a coordinate has exactly one correct value, so a
+// conflict means nondeterminism upstream and must fail loudly, not
+// average away.
+func (s *Store) Put(id Identity, c eval.Coord, st eval.CellStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	k := key{id: id, c: c}
+	if old, ok := s.cells[k]; ok {
+		if old != st {
+			return fmt.Errorf("store: cell %s %+v already holds %+v; refusing conflicting %+v", id, c, old, st)
+		}
+		return nil
+	}
+	line, err := encodeRecord(id, c, st)
+	if err != nil {
+		return err
+	}
+	if s.segLen >= s.maxSeg {
+		if err := s.rotate(); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	if _, err := s.bw.Write(line); err != nil {
+		s.err = fmt.Errorf("store: append: %w", err)
+		return s.err
+	}
+	s.segLen += int64(len(line))
+	s.cells[k] = st
+	s.dirty = true
+	s.added++
+	return nil
+}
+
+// rotate seals the active segment (flush + fsync + close) and opens the
+// next one. Called with the lock held.
+func (s *Store) rotate() error {
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("store: rotate: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("store: rotate: %w", err)
+	}
+	if err := s.seg.Close(); err != nil {
+		return fmt.Errorf("store: rotate: %w", err)
+	}
+	s.segIdx++
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.segIdx)), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: rotate: %w", err)
+	}
+	s.seg = f
+	s.bw = bufio.NewWriterSize(f, 1<<16)
+	s.segLen = 0
+	s.dirty = false
+	return nil
+}
+
+// Sync makes every accepted Put durable: buffered appends are flushed
+// and the active segment fsynced. The caching layer calls this at
+// cell-chunk boundaries, which is what "resume from the last durable
+// cell" means concretely.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.dirty {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.err = fmt.Errorf("store: sync: %w", err)
+		return s.err
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.err = fmt.Errorf("store: sync: %w", err)
+		return s.err
+	}
+	s.dirty = false
+	return nil
+}
+
+// Close syncs and closes the store. The store accepts no further writes
+// afterwards; calling Close again is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	err := s.syncLocked()
+	if cerr := s.seg.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: close: %w", cerr)
+	}
+	s.seg = nil
+	s.bw = nil
+	if s.err == nil {
+		s.err = fmt.Errorf("store: closed")
+	}
+	return err
+}
+
+// writeTo dumps every resident record to w — the segment round-trip
+// test's oracle. Deterministic order: identity, then canonical Coord.
+func (s *Store) writeTo(w io.Writer) error {
+	for _, e := range s.Query(Filter{}) {
+		line, err := encodeRecord(e.ID, e.Coord, e.Stats)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,479 @@
+package store
+
+// Durability tests for the segment log: round trips, rotation, torn-tail
+// recovery, and a corruption-rejection table. The bar everywhere is the
+// WAL discipline: a crash mid-append costs at most the torn tail; any
+// other damage refuses the store loudly rather than serving a possibly
+// wrong cell into a rendered table.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+var testID = Identity{Backend: "test: backend with spaces (and parens)", Seed: 7}
+
+// mkCoord builds a resolvable coordinate (problem 1..17, level 0..2).
+func mkCoord(problem, level, tempMilli, n int) eval.Coord {
+	return eval.Coord{
+		Model: "CodeGen-16B", Variant: "FT",
+		Problem: problem, Level: level, TempMilli: tempMilli, N: n,
+	}
+}
+
+func mkStats(i int) eval.CellStats {
+	return eval.CellStats{Samples: 4, Compiled: 3, Passed: i % 3, SumLat: 0.125 * float64(i)}
+}
+
+// fill puts n distinct cells and returns their coordinates in put order.
+func fill(t *testing.T, s *Store, n int) []eval.Coord {
+	t.Helper()
+	var coords []eval.Coord
+	for i := 0; i < n; i++ {
+		c := mkCoord(1+i%17, i%3, 100*(1+i%10), 4)
+		if _, dup := s.Get(testID, c); dup {
+			continue
+		}
+		if err := s.Put(testID, c, mkStats(i)); err != nil {
+			t.Fatal(err)
+		}
+		coords = append(coords, c)
+	}
+	return coords
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := fill(t, s, 40)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != len(coords) {
+		t.Fatalf("reopened store holds %d cells, wrote %d", r.Len(), len(coords))
+	}
+	for i, c := range coords {
+		st, ok := r.Get(testID, c)
+		if !ok {
+			t.Fatalf("cell %+v missing after reopen", c)
+		}
+		if want := mkStats(i); st != want {
+			t.Fatalf("cell %+v: %+v after reopen, wrote %+v", c, st, want)
+		}
+	}
+	if _, ok := r.Get(Identity{Backend: testID.Backend, Seed: 8}, coords[0]); ok {
+		t.Fatal("a different seed must miss: invalidation is identity-keyed")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.maxSeg = 512 // a few records per segment
+	coords := fill(t, s, 40)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "cells-*.log"))
+	if len(segs) < 3 {
+		t.Fatalf("40 records against a 512B segment cap produced %d segment(s)", len(segs))
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(coords) {
+		t.Fatalf("reopen across %d segments holds %d cells, want %d", len(segs), r.Len(), len(coords))
+	}
+	// Appends continue in the final segment, not a fresh one.
+	c := mkCoord(17, 2, 999, 4)
+	if err := r.Put(testID, c, mkStats(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "cells-*.log"))
+	if len(after) != len(segs) {
+		t.Fatalf("one small append grew segment count %d -> %d", len(segs), len(after))
+	}
+}
+
+// lastSegment returns the path of the store directory's final segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "cells-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (%v)", dir, err)
+	}
+	return segs[len(segs)-1]
+}
+
+// buildStore writes n cells into a fresh store dir and returns the dir.
+func buildStore(t *testing.T, n int, maxSeg int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeg > 0 {
+		s.maxSeg = maxSeg
+	}
+	fill(t, s, n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestTornTailRecovered(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(data []byte) []byte
+	}{
+		{"partial final record", func(d []byte) []byte {
+			return d[:len(d)-9] // mid-record, newline gone
+		}},
+		{"final record checksum damaged", func(d []byte) []byte {
+			d[len(d)-3]++ // payload byte flipped, newline intact
+			return d
+		}},
+		{"final record lost its newline", func(d []byte) []byte {
+			return d[:len(d)-1] // decodes fine, not newline-terminated
+		}},
+		{"garbage appended after the last record", func(d []byte) []byte {
+			return append(d, []byte("s1 deadbeef {tor")...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := buildStore(t, 12, 0)
+			seg := lastSegment(t, dir)
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(seg, tc.tear(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatalf("torn tail must recover, got: %v", err)
+			}
+			defer s.Close()
+			if got := s.Len(); got < 10 || got > 12 {
+				t.Fatalf("recovered %d cells from a 12-cell store with one torn tail", got)
+			}
+			// The truncated tail is really gone: a reopen sees a clean store.
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(dir)
+			if err != nil {
+				t.Fatalf("second open after recovery: %v", err)
+			}
+			r.Close()
+		})
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	cases := []struct {
+		name   string
+		maxSeg int64
+		damage func(t *testing.T, dir string)
+	}{
+		{"checksum flipped mid-file", 0, func(t *testing.T, dir string) {
+			seg := lastSegment(t, dir)
+			data, _ := os.ReadFile(seg)
+			lines := bytes.SplitAfter(data, []byte("\n"))
+			lines[2][len(lines[2])-3]++ // a record with records after it
+			os.WriteFile(seg, bytes.Join(lines, nil), 0o644)
+		}},
+		{"garbage line mid-file", 0, func(t *testing.T, dir string) {
+			seg := lastSegment(t, dir)
+			data, _ := os.ReadFile(seg)
+			lines := bytes.SplitAfter(data, []byte("\n"))
+			lines[1] = []byte("not a record at all\n")
+			os.WriteFile(seg, bytes.Join(lines, nil), 0o644)
+		}},
+		{"unknown record version mid-file", 0, func(t *testing.T, dir string) {
+			seg := lastSegment(t, dir)
+			data, _ := os.ReadFile(seg)
+			os.WriteFile(seg, append([]byte("s2"), data[2:]...), 0o644)
+		}},
+		{"torn tail in a non-final segment", 256, func(t *testing.T, dir string) {
+			segs, _ := filepath.Glob(filepath.Join(dir, "cells-*.log"))
+			if len(segs) < 2 {
+				t.Fatal("rotation produced one segment; the case needs two")
+			}
+			first := segs[0]
+			data, _ := os.ReadFile(first)
+			os.WriteFile(first, data[:len(data)-7], 0o644)
+		}},
+		{"conflicting duplicate cell", 0, func(t *testing.T, dir string) {
+			// A validly checksummed record for an existing coordinate with
+			// different stats, followed by another record so it is mid-file.
+			c := mkCoord(1, 0, 100, 4) // fill's first cell
+			conflict, err := encodeRecord(testID, c, eval.CellStats{Samples: 4, Compiled: 4, Passed: 4, SumLat: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail, err := encodeRecord(testID, mkCoord(17, 2, 999, 4), mkStats(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg := lastSegment(t, dir)
+			f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(conflict)
+			f.Write(tail)
+			f.Close()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := buildStore(t, 12, tc.maxSeg)
+			tc.damage(t, dir)
+			if s, err := Open(dir); err == nil {
+				s.Close()
+				t.Fatal("corrupted store opened cleanly")
+			}
+		})
+	}
+}
+
+func TestPutSemantics(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := mkCoord(3, 1, 500, 10)
+	st := eval.CellStats{Samples: 10, Compiled: 8, Passed: 5, SumLat: 2.5}
+	if err := s.Put(testID, c, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testID, c, st); err != nil {
+		t.Fatalf("identical re-put must be a no-op, got: %v", err)
+	}
+	if s.Added() != 1 {
+		t.Fatalf("Added = %d after one new cell and one no-op", s.Added())
+	}
+	if err := s.Put(testID, c, eval.CellStats{Samples: 10, Compiled: 8, Passed: 6, SumLat: 2.5}); err == nil {
+		t.Fatal("conflicting re-put must be rejected")
+	}
+	// Validation mirrors wire: inconsistent stats and bad coordinates are
+	// rejected at the writer.
+	if err := s.Put(testID, c, eval.CellStats{Samples: 11}); err == nil {
+		t.Fatal("Samples > N must be rejected")
+	}
+	if err := s.Put(testID, mkCoord(99, 0, 100, 4), st); err == nil {
+		t.Fatal("unresolvable problem number must be rejected")
+	}
+	if err := s.Put(Identity{Seed: 1}, mkCoord(4, 0, 100, 4), eval.CellStats{Samples: 1, SumLat: 0}); err == nil {
+		t.Fatal("empty backend tag must be rejected")
+	}
+}
+
+func TestParseIdentity(t *testing.T) {
+	tag := "family: simulated n-gram line-up (60 fine-tuning docs)"
+	id, err := ParseIdentity(tag + "@42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Backend != tag || id.Seed != 42 {
+		t.Fatalf("parsed %+v", id)
+	}
+	if id.String() != tag+"@42" {
+		t.Fatalf("round trip: %q", id.String())
+	}
+	bare, err := ParseIdentity("-3")
+	if err != nil || bare != (Identity{Seed: -3}) {
+		t.Fatalf("bare seed: %+v, %v", bare, err)
+	}
+	if _, err := ParseIdentity("backend@notanumber"); err == nil {
+		t.Fatal("non-integer seed must be rejected")
+	}
+}
+
+func TestWriteToRoundTrip(t *testing.T) {
+	dir := buildStore(t, 25, 0)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var dump bytes.Buffer
+	if err := s.writeTo(&dump); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the dump into a fresh store reproduces the cell set.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, segName(1)), dump.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != s.Len() {
+		t.Fatalf("replayed dump holds %d cells, original %d", r.Len(), s.Len())
+	}
+	for _, e := range s.Query(Filter{}) {
+		if got, ok := r.Get(e.ID, e.Coord); !ok || got != e.Stats {
+			t.Fatalf("cell %+v: %+v (present=%v), want %+v", e.Coord, got, ok, e.Stats)
+		}
+	}
+}
+
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add("family: sweep", int64(1), 3, 1, 500, 10, 10, 8, 5, 2.5)
+	f.Add("b@x", int64(-9), 17, 2, 100, 1, 1, 1, 1, 0.0)
+	f.Add("m", int64(0), 1, 0, 0, 25, 0, 0, 0, 0.0)
+	f.Fuzz(func(t *testing.T, backend string, seed int64, problem, level, tempMilli, n, samples, compiled, passed int, sumLat float64) {
+		id := Identity{Backend: backend, Seed: seed}
+		c := eval.Coord{Model: "CodeGen-16B", Variant: "PT", Problem: problem, Level: level, TempMilli: tempMilli, N: n}
+		st := eval.CellStats{Samples: samples, Compiled: compiled, Passed: passed, SumLat: sumLat}
+		line, err := encodeRecord(id, c, st)
+		if err != nil {
+			return // invalid input rejected at the writer: exactly the contract
+		}
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			t.Fatal("encoded record is not newline-terminated")
+		}
+		gid, gc, gst, err := decodeRecord(bytes.TrimSuffix(line, []byte("\n")))
+		if err != nil {
+			t.Fatalf("encoded record does not decode: %v\n%s", err, line)
+		}
+		if gid != id || gc != c || gst != st {
+			t.Fatalf("round trip drift: (%+v %+v %+v) -> (%+v %+v %+v)", id, c, st, gid, gc, gst)
+		}
+	})
+}
+
+func FuzzDecodeRecord(f *testing.F) {
+	good, _ := encodeRecord(testID, mkCoord(2, 1, 300, 4), mkStats(3))
+	f.Add(string(good))
+	f.Add("s1 00000000 {}")
+	f.Add("")
+	f.Add(strings.Repeat("s1 ", 100))
+	f.Fuzz(func(t *testing.T, line string) {
+		// Must never panic; errors are the expected outcome for junk.
+		id, c, st, err := decodeRecord([]byte(line))
+		if err == nil {
+			// Whatever decodes must re-encode decodably (idempotent format).
+			if _, rerr := encodeRecord(id, c, st); rerr != nil {
+				t.Fatalf("decoded record fails re-encode: %v", rerr)
+			}
+		}
+	})
+}
+
+func TestOpenOnMissingDirCreates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "cells")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testID, mkCoord(5, 0, 100, 4), mkStats(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testID, mkCoord(1, 0, 100, 4), mkStats(0)); err == nil {
+		t.Fatal("Put after Close must fail")
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Err after Close: %v", err)
+	}
+}
+
+// TestSyncDurability proves the chunk-boundary contract: cells written
+// before a Sync survive a simulated kill (the file is never closed; we
+// reopen the directory as a second store and must see the synced cells).
+func TestSyncDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mkCoord(7, 1, 700, 4)
+	if err := s.Put(testID, c, mkStats(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the "killed" process never got to clean up. Scan what is
+	// on disk (the OS keeps written bytes visible to other readers).
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(testID, c); !ok {
+		t.Fatal("synced cell invisible to a post-kill reopen")
+	}
+	r.Close()
+	s.Close()
+}
+
+func TestAddedCountsOnlyNewCells(t *testing.T) {
+	dir := buildStore(t, 10, 0)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Added() != 0 {
+		t.Fatalf("fresh session reports %d added", s.Added())
+	}
+	// Re-putting resident cells adds nothing; one new cell adds one.
+	for _, e := range s.Query(Filter{}) {
+		if err := s.Put(e.ID, e.Coord, e.Stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(testID, mkCoord(17, 2, 999, 4), mkStats(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Added() != 1 {
+		t.Fatalf("Added = %d, want 1", s.Added())
+	}
+}
