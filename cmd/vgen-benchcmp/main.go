@@ -54,6 +54,13 @@ var hotPathBenches = []string{
 	"BenchmarkSweepThroughput/store=cold",
 	"BenchmarkSweepThroughput/store=warm",
 	"BenchmarkStoreLookup",
+	// shared compiled-artifact rows (DESIGN.md Section 15): the cold and
+	// warm per-sample compile paths and the plan-sharing sweep ablation —
+	// the warm rows are the speedup the shared tiers exist for
+	"BenchmarkEvaluateColdCompile",
+	"BenchmarkEvaluateWarmCompile",
+	"BenchmarkSweepThroughput/plans=fresh",
+	"BenchmarkSweepThroughput/plans=shared",
 }
 
 const regressionLimit = 0.10

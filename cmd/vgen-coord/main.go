@@ -9,6 +9,7 @@
 //	vgen-coord -dir STATE [-backend NAME] [-seed N] [-n N] [-quick]
 //	           [-experiment all|table3|table4|fig6|fig7|headline|passk|problems]
 //	           [-shards N] [-parallel N] [-proc]
+//	           [-plan-cache BYTES] [-unshared-plans]
 //	           [-timeout D] [-max-attempts N] [-backoff D] [-backoff-cap D]
 //	           [-steal-after D] [-unhealthy-after N]
 //	           [-endpoint URL] [-auth-env VAR] [-batch N] [-batch-linger D]
@@ -35,6 +36,12 @@
 // worker subprocess (this same binary in a hidden worker mode), so a
 // worker crash, OOM kill, or hang is isolated from the coordinator; the
 // supervision behavior is identical either way.
+//
+// Workers share compiled simulation artifacts within their own process
+// (DESIGN.md Section 15). -plan-cache bounds those caches in accounted
+// bytes (0 = 4 MiB each, negative = unbounded) and -unshared-plans
+// compiles every sample fresh, the differential baseline; both thread
+// through to -proc worker subprocesses. Sharing never changes results.
 //
 // -fault injects deterministic failures (crash, hang, truncate, corrupt;
 // "*" for every attempt of a shard) at the supervision boundary — the
@@ -89,6 +96,8 @@ func main() {
 	experiment := flag.String("experiment", "all", "which cell-based artifact(s) to sweep and render")
 	corpusFiles := flag.Int("corpus-files", 0, "synthetic corpus size (0 = default)")
 	workers := flag.Int("workers", 0, "per-attempt evaluation pool width (0 = GOMAXPROCS)")
+	planCache := flag.Int64("plan-cache", 0, "shared compiled plan/design cache budget in accounted bytes, each (0 = 4 MiB, negative = unbounded)")
+	unsharedPlans := flag.Bool("unshared-plans", false, "compile every sample fresh instead of sharing plans and designs across evaluations (identical output, slower)")
 	backend := flag.String("backend", "family", "generation backend by name")
 
 	// Remote backend flags, mirroring vgen-eval. Transport retries compose
@@ -163,11 +172,12 @@ func main() {
 	coreCfg := core.Config{
 		Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep,
 		Workers: *workers, Backend: *backend,
+		PlanCacheBytes: *planCache, UnsharedPlans: *unsharedPlans,
 		Remote: gen.RemoteOptions{
 			Endpoint: *endpoint, AuthToken: authToken,
 			Timeout: *remoteTimeout, Budget: *remoteBudget,
 			MaxAttempts: *remoteAttempts, BackoffBase: *remoteBackoff, BackoffCap: *remoteBackoffCap,
-			MaxInFlight: *remoteInflight,
+			MaxInFlight:      *remoteInflight,
 			BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
 		},
 		BatchSize: *batchSize, BatchLinger: *batchLinger,
@@ -214,6 +224,10 @@ func main() {
 			"-corpus-files", strconv.Itoa(*corpusFiles),
 			"-workers", strconv.Itoa(*workers),
 			"-backend", *backend,
+			"-plan-cache", strconv.FormatInt(*planCache, 10),
+		}
+		if *unsharedPlans {
+			base = append(base, "-unshared-plans")
 		}
 		if *backend == "remote" {
 			// Thread the transport config through to worker subprocesses.

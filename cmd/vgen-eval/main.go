@@ -4,6 +4,7 @@
 // Usage:
 //
 //	vgen-eval [-seed N] [-n N] [-quick] [-workers N] [-map-sampler]
+//	          [-plan-cache BYTES] [-unshared-plans] [-cache-stats]
 //	          [-backend NAME] [-record FILE] [-replay FILE]
 //	          [-endpoint URL] [-auth-env VAR] [-batch N] [-batch-linger D]
 //	          [-remote-timeout D] [-remote-budget D] [-remote-attempts N]
@@ -38,7 +39,7 @@
 // retries at shard granularity. -auth-env names the environment variable
 // holding the bearer token (the secret never appears on a command line).
 // Remote runs auto-record to remote-record.jsonl (or <emit>.rec.jsonl
-// when sharded) so they replay offline; -record='' disables.
+// when sharded) so they replay offline; -record=” disables.
 //
 // Distributed sweeps (see DESIGN.md, "Sharded sweep execution"): -shards
 // N -shard I -emit runs the I-th of N partitions of the selected
@@ -58,6 +59,15 @@
 // prints a deterministic report of the missing shards and exactly which
 // cells their absence left uncovered. Supervised end-to-end runs —
 // retry, work-stealing, resume — live in the vgen-coord command.
+//
+// Evaluation shares compiled artifacts process-wide (DESIGN.md Section
+// 15): testbenches elaborate once per (problem, level), candidate designs
+// and compiled expression plans are cached content-addressed, and
+// simulator state is pooled — identical output, far less compile work.
+// -plan-cache bounds each shared cache in accounted bytes (default 4 MiB
+// each, negative = unbounded); -unshared-plans compiles every sample
+// fresh, the differential baseline; -cache-stats prints the shared-cache
+// and outcome-cache counters to stderr after the run.
 //
 // -store DIR attaches the persistent result store (DESIGN.md Section 14):
 // evaluated cells persist under the sweep identity (backend tag + seed),
@@ -108,6 +118,9 @@ func main() {
 	corpusFiles := flag.Int("corpus-files", 0, "synthetic corpus size (0 = default)")
 	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	mapSampler := flag.Bool("map-sampler", false, "sample from the map-backed n-gram baseline instead of the frozen tables (identical output, slower)")
+	planCache := flag.Int64("plan-cache", 0, "shared compiled plan/design cache budget in accounted bytes, each (0 = 4 MiB, negative = unbounded)")
+	unsharedPlans := flag.Bool("unshared-plans", false, "compile every sample fresh instead of sharing plans and designs across evaluations (identical output, slower)")
+	cacheStats := flag.Bool("cache-stats", false, "print shared plan/design cache and outcome cache counters to stderr after the run")
 	backend := flag.String("backend", "family", "generation backend by name ('list' prints the registry)")
 	record := flag.String("record", "", "capture every produced sample to this JSONL file")
 	replay := flag.String("replay", "", "JSONL recording served by the replay backend (implies -backend replay)")
@@ -339,12 +352,13 @@ func main() {
 	fw, err := core.New(core.Config{
 		Seed: *seed, CorpusFiles: *corpusFiles, Sweep: sweep,
 		Workers: *workers, MapSampler: *mapSampler,
+		PlanCacheBytes: *planCache, UnsharedPlans: *unsharedPlans,
 		Backend: *backend, Record: *record, Replay: *replay,
 		Remote: gen.RemoteOptions{
 			Endpoint: *endpoint, AuthToken: authToken,
 			Timeout: *remoteTimeout, Budget: *remoteBudget,
 			MaxAttempts: *remoteAttempts, BackoffBase: *remoteBackoff, BackoffCap: *remoteBackoffCap,
-			MaxInFlight: *remoteInflight,
+			MaxInFlight:      *remoteInflight,
 			BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
 		},
 		BatchSize: *batchSize, BatchLinger: *batchLinger,
@@ -382,6 +396,10 @@ func main() {
 	// Finish the CPU profile before anything that can exit, so a
 	// memprofile failure never leaves a truncated cpuprofile behind.
 	stopCPU()
+
+	if *cacheStats {
+		printCacheStats(fw.Runner)
+	}
 
 	// Store accounting comes before Close (which seals the store). A
 	// persistence failure is loud: the rendered output above is correct,
@@ -431,6 +449,22 @@ func main() {
 }
 
 // knownExperiment reports whether the harness has a renderer by name.
+// printCacheStats reports the shared compiled-artifact caches (DESIGN.md
+// Section 15) next to the per-runner outcome cache, all to stderr: a warm
+// sweep shows plan/design hits dominating misses, a -plan-cache squeeze
+// shows evictions.
+func printCacheStats(r *eval.Runner) {
+	ss := eval.SharedStats()
+	fmt.Fprintf(os.Stderr, "plan cache: %d hits, %d misses, %d evicted, %d entries, %d bytes\n",
+		ss.Plans.Hits, ss.Plans.Misses, ss.Plans.Evictions, ss.Plans.Entries, ss.Plans.Bytes)
+	fmt.Fprintf(os.Stderr, "design cache: %d hits, %d misses, %d evicted, %d designs (%d skeletons), %d bytes\n",
+		ss.DesignHits, ss.DesignMisses, ss.DesignEvicted, ss.Designs, ss.Skeletons, ss.DesignBytes)
+	oc := r.CacheStats()
+	fmt.Fprintf(os.Stderr, "outcome cache: %d entries, %d bytes, %d evicted\n",
+		oc.Entries, oc.Bytes, oc.Evicted)
+	fmt.Fprintf(os.Stderr, "cell memo: %d cells, %d hits\n", oc.Cells, oc.CellHits)
+}
+
 func knownExperiment(name string) bool {
 	for _, r := range harness.Renderers() {
 		if r.Name == name {

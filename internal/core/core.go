@@ -35,6 +35,19 @@ type Config struct {
 	Workers     int  // evaluation pool width; 0 = GOMAXPROCS, 1 = serial
 	MapSampler  bool // keep n-gram LMs on the map-backed baseline sampler
 
+	// PlanCacheBytes bounds each shared compiled-artifact cache (the
+	// compiled-plan cache and the per-candidate design cache) by accounted
+	// bytes. 0 keeps the 4 MiB defaults; negative disables the bounds.
+	// Process-wide: the caches are shared across frameworks.
+	PlanCacheBytes int64
+
+	// UnsharedPlans routes every evaluation through the legacy
+	// fresh-everything pipeline (parse, elaborate, and compile per sample,
+	// nothing shared) instead of the shared design/plan caches. It is the
+	// differential baseline for the shared pipeline, the role MapSampler
+	// plays for the sampler.
+	UnsharedPlans bool
+
 	// Backend selects the generation backend by registered name (see
 	// gen.Names()); "" means "family", the simulated line-up.
 	Backend string
@@ -142,8 +155,12 @@ func New(cfg Config) (*Framework, error) {
 		fw.rec = gen.NewRecorder(b, fw.recBuf)
 		fw.Backend = fw.rec
 	}
+	if cfg.PlanCacheBytes != 0 {
+		eval.SetPlanCacheBytes(cfg.PlanCacheBytes)
+	}
 	runner := eval.NewRunner(fw.Backend, cfg.Seed)
 	runner.Workers = cfg.Workers
+	runner.UnsharedPlans = cfg.UnsharedPlans
 	runner.BatchSize = cfg.BatchSize
 	runner.BatchLinger = cfg.BatchLinger
 	fw.Runner = runner

@@ -80,10 +80,16 @@ func endmoduleKeywordIndex(s string) int {
 	return -1
 }
 
-// Outcome is the verdict for one completion.
+// Outcome is the verdict for one completion. Simulated distinguishes
+// "never simulated" (the candidate failed to parse, compile, or
+// elaborate, so the simulator never ran) from "simulated and failed"
+// (the simulator ran but the run errored or the output failed the
+// verdict) — the distinction a verdict-as-a-service caller needs to
+// report meaningfully. Passes implies Simulated implies Compiles.
 type Outcome struct {
-	Compiles bool
-	Passes   bool
+	Compiles  bool
+	Simulated bool
+	Passes    bool
 }
 
 // tbCache holds one parsed testbench AST per distinct testbench text.
@@ -137,19 +143,38 @@ func testbenchAST(p *problems.Problem) (*vlog.SourceFile, error) {
 	return e.file, e.err
 }
 
-// Evaluate runs the full pipeline on one completion for (problem, level).
-// The candidate source is parsed once; the testbench AST comes from the
-// per-problem cache and is composed with the candidate's modules for
-// elaboration, so each sample pays for exactly one parse of the completion.
+// Evaluate runs the full pipeline on one completion for (problem, level)
+// through the shared compiled-design tiers (see design.go): the testbench
+// skeleton is elaborated once per problem, the candidate is spliced and
+// compiled once per distinct source, expression plans are shared across
+// simulators, and per-run simulator state is pooled. The verdict and
+// simulation output are byte-identical to EvaluateUnshared — the caches
+// hold only pure functions of the source text.
 func Evaluate(p *problems.Problem, level problems.Level, completion string) Outcome {
+	o, _ := evaluateShared(p, level, completion)
+	return o
+}
+
+// EvaluateUnshared runs the same pipeline with nothing shared: fresh
+// parse, full elaboration, and a fresh simulator per call. It is the
+// differential baseline for the shared tiers, the role Options.Interpret
+// plays one layer down in sim.
+func EvaluateUnshared(p *problems.Problem, level problems.Level, completion string) Outcome {
 	o, _ := evaluateSim(p, level, completion, sim.Options{})
 	return o
 }
 
-// evaluateSim is Evaluate with the simulator options exposed and the raw
-// simulation result returned: the interpreter-vs-compiled-plan
+// evaluateSim is EvaluateUnshared with the simulator options exposed and
+// the raw simulation result returned: the interpreter-vs-compiled-plan
 // differential test runs the pipeline under both engines and compares
 // Result.Output byte for byte.
+//
+// Return normalization: paths that never construct a simulator return a
+// zero sim.Result with Outcome.Simulated false; once sim.Run is entered,
+// Simulated is true and the Result is the run's actual state — on a limit
+// error that is the partial output at the point the limit fired, never a
+// fabricated zero value. Callers can therefore trust (Simulated, Result)
+// to agree.
 func evaluateSim(p *problems.Problem, level problems.Level, completion string, simOpts sim.Options) (Outcome, sim.Result) {
 	completion = Truncate(completion)
 	src := p.CompleteWith(level, completion)
@@ -172,9 +197,9 @@ func evaluateSim(p *problems.Problem, level problems.Level, completion string, s
 	}
 	res, err := sim.New(d, simOpts).Run()
 	if err != nil {
-		return Outcome{Compiles: true}, res
+		return Outcome{Compiles: true, Simulated: true}, res
 	}
-	return Outcome{Compiles: true, Passes: problems.PassVerdict(res.Output)}, res
+	return Outcome{Compiles: true, Simulated: true, Passes: problems.PassVerdict(res.Output)}, res
 }
 
 // numShards sizes the outcome cache: enough shards that GOMAXPROCS workers
@@ -271,8 +296,37 @@ type Runner struct {
 	// an evicted-and-revisited completion recomputes to identical bytes.
 	CacheBytes int64
 
+	// CellMemoCap bounds the whole-cell memo by entry count: 0 means
+	// DefaultCellMemoCap, negative disables the memo (every query then
+	// exercises generation and the outcome cache — what the per-backend
+	// throughput benches measure). Stats are identical either way; cells
+	// are pure functions of their coordinates.
+	CellMemoCap int
+
+	// UnsharedPlans evaluates through EvaluateUnshared — fresh parse,
+	// full elaboration, and an unpooled simulator per sample — instead of
+	// the shared compiled-design tiers. Output is byte-identical either
+	// way; the unshared path exists as the differential baseline, the
+	// role sim.Options.Interpret and model.Config.MapSampler play in
+	// their layers.
+	UnsharedPlans bool
+
 	tag    string // Backend.Describe(), captured once for cache keys
 	shards [numShards]cacheShard
+
+	// cellMemo caches whole computed cells keyed by Query. A cell is a
+	// pure function of (runner seed, backend, query) — the premise the
+	// persistent store already rests on — so re-querying a cell the
+	// runner has computed (tables and figures share best-temp cells,
+	// ComputeHeadline re-walks the table sweep) skips both generation and
+	// evaluation and returns bit-identical stats. Only fully successful
+	// cells are memoized: a cell that degraded to a produced-failure
+	// recomputes on the next query, preserving retry semantics. FIFO
+	// bounded by entry count; entries are a few words each.
+	cellMu    sync.Mutex
+	cellMemo  map[Query]CellStats
+	cellOrder []Query
+	cellHits  uint64
 
 	failMu       sync.Mutex
 	lastFailures []CellFailure // from the most recent EvaluateBatch* call
@@ -306,6 +360,23 @@ func (r *Runner) workers() int {
 // Runner.CacheBytes is unset — generous enough that a paper-scale sweep
 // never evicts, small enough that a server process has a hard ceiling.
 const DefaultCacheBytes = 64 << 20
+
+// DefaultCellMemoCap bounds the whole-cell memo by entry count when
+// Runner.CellMemoCap is unset. A paper-scale sweep touches a few thousand
+// distinct cells; entries are ~100 bytes, so the cap holds every cell of
+// a full table run in under a megabyte.
+const DefaultCellMemoCap = 8192
+
+// cellMemoCap resolves Runner.CellMemoCap: 0 for disabled.
+func (r *Runner) cellMemoCap() int {
+	switch {
+	case r.CellMemoCap > 0:
+		return r.CellMemoCap
+	case r.CellMemoCap < 0:
+		return 0
+	}
+	return DefaultCellMemoCap
+}
 
 // outcomeEntryOverhead approximates one cache entry's fixed cost beyond
 // its key strings: map bucket share, slot, outcome, and the order-slice
@@ -357,7 +428,13 @@ func (r *Runner) evaluate(p *problems.Problem, level problems.Level, completion 
 		}
 	}
 	sh.mu.Unlock()
-	s.once.Do(func() { s.o = Evaluate(p, level, completion) })
+	s.once.Do(func() {
+		if r.UnsharedPlans {
+			s.o = EvaluateUnshared(p, level, completion)
+		} else {
+			s.o = Evaluate(p, level, completion)
+		}
+	})
 	return s.o
 }
 
@@ -366,10 +443,16 @@ type CacheStats struct {
 	Entries int
 	Bytes   int64
 	Evicted int64
+
+	// Cells and CellHits report the whole-cell memo: resident entries and
+	// lifetime queries answered without re-running generation.
+	Cells    int
+	CellHits uint64
 }
 
 // CacheStats reports the outcome cache's current accounted size and
-// lifetime eviction count, aggregated across shards.
+// lifetime eviction count, aggregated across shards, plus the cell
+// memo's occupancy and hit count.
 func (r *Runner) CacheStats() CacheStats {
 	var cs CacheStats
 	for i := range r.shards {
@@ -380,6 +463,10 @@ func (r *Runner) CacheStats() CacheStats {
 		cs.Evicted += sh.evicted
 		sh.mu.Unlock()
 	}
+	r.cellMu.Lock()
+	cs.Cells = len(r.cellMemo)
+	cs.CellHits = r.cellHits
+	r.cellMu.Unlock()
 	return cs
 }
 
@@ -505,11 +592,54 @@ func (r *Runner) EvaluateBatch(qs []Query) []CellStats {
 // what lets a coordinator shutdown (or SIGINT) reap an in-flight shard
 // without leaking its pool.
 func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats, error) {
+	// Whole-cell memo first: queries the runner has already computed to a
+	// fully successful cell are answered from the memo without touching
+	// the backend — bit-identical by the same purity argument the
+	// persistent store rests on. Remaining queries run as usual.
+	out := make([]CellStats, len(qs))
+	memoCap := r.cellMemoCap()
+	var memoized []bool // nil when the memo is disabled
+	pending := len(qs)
+	if memoCap > 0 {
+		memoized = make([]bool, len(qs))
+		pending = 0
+		r.cellMu.Lock()
+		for qi, q := range qs {
+			if st, ok := r.cellMemo[q]; ok {
+				out[qi], memoized[qi] = st, true
+				r.cellHits++
+			} else {
+				pending++
+			}
+		}
+		r.cellMu.Unlock()
+	}
+	if pending == 0 {
+		r.failMu.Lock()
+		r.lastFailures = nil
+		r.failMu.Unlock()
+		return out, nil
+	}
+
 	keys := make([]gen.Key, len(qs))
 	bases := make([]int64, len(qs))
 	results := make([][]sampleResult, len(qs))
-	var items []workItem
+	total := 0
 	for qi, q := range qs {
+		if memoized == nil || !memoized[qi] {
+			total += q.N
+		}
+	}
+	// Pre-sized item list: this path runs once per sweep batch, and its
+	// allocations are the warm-cache sweep's main garbage. The per-query
+	// result slices stay separate allocations on purpose — workers write
+	// neighbouring queries' slots concurrently, and one flat backing
+	// array would put them on shared cache lines.
+	items := make([]workItem, 0, total)
+	for qi, q := range qs {
+		if memoized != nil && memoized[qi] {
+			continue
+		}
 		keys[qi] = gen.Key{Model: string(q.Model), Variant: q.Variant.String()}
 		bases[qi] = r.querySeed(q)
 		results[qi] = make([]sampleResult, q.N)
@@ -533,9 +663,15 @@ func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats,
 	// names the error, so the failure list is deterministic too) — its
 	// stats zero out and the failure is reported via Failures, which is
 	// what lets a plan run record the cell as explicitly missing.
-	out := make([]CellStats, len(qs))
 	var fails []CellFailure
+	var done []int
+	if memoCap > 0 {
+		done = make([]int, 0, pending)
+	}
 	for qi := range qs {
+		if memoized != nil && memoized[qi] {
+			continue
+		}
 		var cellErr error
 		for _, sr := range results[qi] {
 			if sr.err != nil {
@@ -552,6 +688,31 @@ func (r *Runner) EvaluateBatchCtx(ctx context.Context, qs []Query) ([]CellStats,
 				out[qi].Add(sr.stats())
 			}
 		}
+		if memoCap > 0 {
+			done = append(done, qi)
+		}
+	}
+	if memoCap > 0 {
+		r.cellMu.Lock()
+		if r.cellMemo == nil {
+			r.cellMemo = map[Query]CellStats{}
+		}
+		for _, qi := range done {
+			q := qs[qi]
+			if _, ok := r.cellMemo[q]; ok {
+				continue // a concurrent batch computed it first; keep its entry
+			}
+			r.cellMemo[q] = out[qi]
+			r.cellOrder = append(r.cellOrder, q)
+			// FIFO bound, never the entry just inserted: entries are pure,
+			// so an evicted-and-revisited query recomputes to identical
+			// stats.
+			for len(r.cellOrder) > memoCap && len(r.cellOrder) > 1 {
+				delete(r.cellMemo, r.cellOrder[0])
+				r.cellOrder = r.cellOrder[1:]
+			}
+		}
+		r.cellMu.Unlock()
 	}
 	r.failMu.Lock()
 	r.lastFailures = fails

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+// memoTestBackend serves every request with the problem's reference body
+// and counts requests, with an injectable number of failing batch calls —
+// enough surface to pin the whole-cell memo's contract: hits skip the
+// backend, failed cells are never memoized, retries recompute.
+type memoTestBackend struct {
+	mu       sync.Mutex
+	requests int
+	failNext int // batch calls that fail before the backend recovers
+}
+
+func (b *memoTestBackend) Complete(key gen.Key, p *problems.Problem, level problems.Level, temp float64, idx int, seed int64) (gen.Sample, bool) {
+	b.mu.Lock()
+	b.requests++
+	b.mu.Unlock()
+	return gen.Sample{Completion: p.RefBody, Latency: 1}, true
+}
+
+func (b *memoTestBackend) Variants() []gen.Key { return nil }
+func (b *memoTestBackend) Describe() string    { return "memo-test backend" }
+
+func (b *memoTestBackend) CompleteBatch(ctx context.Context, reqs []gen.Request) []gen.BatchResult {
+	b.mu.Lock()
+	fail := b.failNext > 0
+	if fail {
+		b.failNext--
+	}
+	b.requests += len(reqs)
+	b.mu.Unlock()
+	out := make([]gen.BatchResult, len(reqs))
+	for i, rq := range reqs {
+		if fail {
+			out[i] = gen.BatchResult{Err: errors.New("injected batch failure")}
+			continue
+		}
+		out[i] = gen.BatchResult{Sample: gen.Sample{Completion: rq.Problem.RefBody, Latency: 1}, OK: true}
+	}
+	return out
+}
+
+func (b *memoTestBackend) served() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.requests
+}
+
+func memoTestQuery() Query {
+	return Query{Model: model.CodeGen2B, Variant: model.FineTuned,
+		Problem: problems.ByNumber(3), Level: problems.LevelMedium, Temperature: 0.5, N: 3}
+}
+
+// TestCellMemoServesRepeatQueries pins the memo's core contract: a
+// re-queried cell returns bit-identical stats without re-invoking the
+// backend, and CellMemoCap = -1 restores recompute-per-query with the
+// same stats.
+func TestCellMemoServesRepeatQueries(t *testing.T) {
+	be := &memoTestBackend{}
+	r := NewRunner(be, 7)
+	r.Workers = 1
+	q := memoTestQuery()
+	first := r.Run(q)
+	if first.Samples != q.N || first.Passed != q.N {
+		t.Fatalf("reference cell did not pass: %+v", first)
+	}
+	after := be.served()
+	if again := r.Run(q); again != first {
+		t.Errorf("memo hit diverged: %+v != %+v", again, first)
+	}
+	if be.served() != after {
+		t.Errorf("memo hit re-invoked the backend: %d -> %d requests", after, be.served())
+	}
+	if cs := r.CacheStats(); cs.Cells != 1 || cs.CellHits == 0 {
+		t.Errorf("memo counters off: %+v", cs)
+	}
+
+	off := NewRunner(be, 7)
+	off.Workers = 1
+	off.CellMemoCap = -1
+	if got := off.Run(q); got != first {
+		t.Errorf("memo-off run diverged: %+v != %+v", got, first)
+	}
+	before := be.served()
+	if got := off.Run(q); got != first {
+		t.Errorf("memo-off repeat diverged: %+v != %+v", got, first)
+	}
+	if be.served() == before {
+		t.Errorf("CellMemoCap=-1 still served from the memo")
+	}
+	if cs := off.CacheStats(); cs.Cells != 0 || cs.CellHits != 0 {
+		t.Errorf("disabled memo accumulated state: %+v", cs)
+	}
+}
+
+// TestCellMemoSkipsFailedCells pins retry semantics: a cell degraded by a
+// produced failure is not memoized, so the next query recomputes it — and
+// once it succeeds, it memoizes like any other cell.
+func TestCellMemoSkipsFailedCells(t *testing.T) {
+	be := &memoTestBackend{failNext: 1}
+	r := NewRunner(be, 7)
+	r.Workers = 1
+	q := memoTestQuery()
+	if bad := r.Run(q); bad != (CellStats{}) {
+		t.Fatalf("degraded cell has non-zero stats: %+v", bad)
+	}
+	if len(r.LastFailures()) != 1 {
+		t.Fatalf("expected one cell failure, got %v", r.LastFailures())
+	}
+	good := r.Run(q)
+	if good.Samples != q.N || good.Passed != q.N {
+		t.Fatalf("retry did not recompute the cell: %+v", good)
+	}
+	if len(r.LastFailures()) != 0 {
+		t.Errorf("successful retry left failures: %v", r.LastFailures())
+	}
+	after := be.served()
+	if got := r.Run(q); got != good {
+		t.Errorf("memoized retry diverged: %+v != %+v", got, good)
+	}
+	if be.served() != after {
+		t.Errorf("memo hit after retry re-invoked the backend")
+	}
+}

@@ -192,25 +192,29 @@ func TestEvaluateBatchCtxSerialPreCanceled(t *testing.T) {
 	}
 }
 
-// TestSingleParsePerEvaluation pins the single-parse pipeline: after the
-// problem's testbench AST is cached, each Evaluate call parses exactly one
-// source text (the candidate), including on the passing path that used to
-// re-parse prompt+completion+testbench as a second full text.
+// TestSingleParsePerEvaluation pins the parse economics of the shared
+// pipeline: a candidate source unseen by the process-wide design cache
+// parses exactly one text (the candidate — the testbench AST is cached
+// separately), and a repeat of a cached candidate parses nothing at all.
+// EvaluateUnshared keeps the legacy one-parse-per-call contract.
 func TestSingleParsePerEvaluation(t *testing.T) {
 	p := problems.ByNumber(6)
-	Evaluate(p, problems.LevelLow, p.RefBody) // warm the testbench cache
+	Evaluate(p, problems.LevelLow, p.RefBody)  // warm the design caches
+	if _, err := testbenchAST(p); err != nil { // re-warm the testbench AST (bounded cache; earlier tests churn it)
+		t.Fatal(err)
+	}
 	before := vlog.ParseCalls()
 	o := Evaluate(p, problems.LevelLow, p.RefBody)
-	if n := vlog.ParseCalls() - before; n != 1 {
-		t.Errorf("passing evaluation parsed %d texts, want 1", n)
+	if n := vlog.ParseCalls() - before; n != 0 {
+		t.Errorf("repeat evaluation parsed %d texts, want 0 (design-cache hit)", n)
 	}
 	if !o.Compiles || !o.Passes {
 		t.Fatalf("reference outcome = %+v", o)
 	}
 
-	// compiles-but-fails path: still one parse
+	// unseen compiles-but-fails candidate: exactly one parse
 	before = vlog.ParseCalls()
-	o = Evaluate(p, problems.LevelMedium, "  always @(posedge clk) q <= q;\nendmodule\n")
+	o = Evaluate(p, problems.LevelMedium, "  always @(posedge clk) q <= q; // single-parse near-miss\nendmodule\n")
 	if n := vlog.ParseCalls() - before; n != 1 {
 		t.Errorf("near-miss evaluation parsed %d texts, want 1", n)
 	}
@@ -218,14 +222,24 @@ func TestSingleParsePerEvaluation(t *testing.T) {
 		t.Fatalf("near-miss outcome = %+v", o)
 	}
 
-	// non-compiling path: one parse, then reject
+	// unseen non-compiling candidate: one parse, then reject
 	before = vlog.ParseCalls()
-	o = Evaluate(p, problems.LevelLow, "  garbage tokens\n")
+	o = Evaluate(p, problems.LevelLow, "  single-parse garbage tokens\n")
 	if n := vlog.ParseCalls() - before; n != 1 {
 		t.Errorf("broken evaluation parsed %d texts, want 1", n)
 	}
 	if o.Compiles {
 		t.Fatalf("broken outcome = %+v", o)
+	}
+
+	// the unshared baseline parses the candidate on every call
+	before = vlog.ParseCalls()
+	o = EvaluateUnshared(p, problems.LevelLow, p.RefBody)
+	if n := vlog.ParseCalls() - before; n != 1 {
+		t.Errorf("unshared evaluation parsed %d texts, want 1", n)
+	}
+	if !o.Compiles || !o.Passes {
+		t.Fatalf("unshared reference outcome = %+v", o)
 	}
 }
 

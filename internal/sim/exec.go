@@ -307,16 +307,7 @@ func (p *process) waitEvent(n *vlog.EventCtrl) {
 
 	var depNames []string
 	if n.Star {
-		idents, ok := s.starCache[n]
-		if !ok {
-			names := dedup(collectStmtReads(n.Stmt, nil))
-			idents = make([]*vlog.Ident, len(names))
-			for i, name := range names {
-				idents[i] = &vlog.Ident{Name: name}
-			}
-			s.starCache[n] = idents
-		}
-		for _, id := range idents {
+		for _, id := range s.starIdents(n) {
 			wr.items = append(wr.items, waitItem{edge: vlog.EdgeAny, expr: id})
 			depNames = append(depNames, id.Name)
 		}

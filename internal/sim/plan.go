@@ -53,13 +53,21 @@ type boundsRes struct {
 }
 
 // planFor returns the compiled plan for evaluating e with assignment
-// context ctx, building and caching it on first use.
+// context ctx, building and caching it on first use. With a shared
+// PlanCache, the immutable compile step is fetched from (or published to)
+// the cache and only the binding to this simulator's state runs locally.
 func (s *Simulator) planFor(e vlog.Expr, in *elab.Inst, ctx int) compiledExpr {
 	k := planKey{e: e, in: in, w: ctx, mode: planCtx}
 	if c, ok := s.plans[k]; ok {
 		return c
 	}
-	c := s.bind(elab.CompileExpr(e, in, ctx))
+	var p *elab.Plan
+	if s.opts.Plans != nil {
+		p = s.opts.Plans.plan(k, func() *elab.Plan { return elab.CompileExpr(e, in, ctx) })
+	} else {
+		p = elab.CompileExpr(e, in, ctx)
+	}
+	c := s.bind(p)
 	s.plans[k] = c
 	return c
 }
@@ -75,7 +83,13 @@ func (s *Simulator) planSized(e vlog.Expr, in *elab.Inst, w int, sg bool) compil
 	if c, ok := s.plans[k]; ok {
 		return c
 	}
-	c := s.bind(elab.CompileExprSized(e, in, w, sg))
+	var p *elab.Plan
+	if s.opts.Plans != nil {
+		p = s.opts.Plans.plan(k, func() *elab.Plan { return elab.CompileExprSized(e, in, w, sg) })
+	} else {
+		p = elab.CompileExprSized(e, in, w, sg)
+	}
+	c := s.bind(p)
 	s.plans[k] = c
 	return c
 }
@@ -536,10 +550,9 @@ func (s *Simulator) waitSiteFor(n *vlog.EventCtrl, in *elab.Inst) *waitSite {
 	ws := &waitSite{star: n.Star}
 	var depNames []string
 	if n.Star {
-		for _, name := range dedup(collectStmtReads(n.Stmt, nil)) {
-			id := &vlog.Ident{Name: name}
+		for _, id := range s.starIdents(n) {
 			ws.items = append(ws.items, waitItem{edge: vlog.EdgeAny, expr: id, plan: s.planFor(id, in, 0)})
-			depNames = append(depNames, name)
+			depNames = append(depNames, id.Name)
 		}
 	} else {
 		for _, ev := range n.Events {
@@ -555,6 +568,33 @@ func (s *Simulator) waitSiteFor(n *vlog.EventCtrl, in *elab.Inst) *waitSite {
 	}
 	s.waitSites[k] = ws
 	return ws
+}
+
+// starIdents returns the synthesized @* sensitivity idents for an event
+// control, stable per simulator via starCache and — with a shared
+// PlanCache — stable across simulators, so the per-ident plan keys share.
+func (s *Simulator) starIdents(n *vlog.EventCtrl) []*vlog.Ident {
+	if ids, ok := s.starCache[n]; ok {
+		return ids
+	}
+	var ids []*vlog.Ident
+	if s.opts.Plans != nil {
+		ids = s.opts.Plans.starIdents(n, func() []*vlog.Ident { return synthStarIdents(n) })
+	} else {
+		ids = synthStarIdents(n)
+	}
+	s.starCache[n] = ids
+	return ids
+}
+
+// synthStarIdents builds the @* sensitivity list as Ident nodes.
+func synthStarIdents(n *vlog.EventCtrl) []*vlog.Ident {
+	names := dedup(collectStmtReads(n.Stmt, nil))
+	idents := make([]*vlog.Ident, len(names))
+	for i, name := range names {
+		idents[i] = &vlog.Ident{Name: name}
+	}
+	return idents
 }
 
 // levelSite is the static part of one wait(cond): the condition plan and

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vlog"
+	"repro/internal/vlog/elab"
+)
+
+// PlanCache shares immutable compiled expression plans (elab.Plan trees)
+// across Simulators. Plans are pure functions of (expression node,
+// instance, width, mode); AST nodes and skeleton-shared Inst objects are
+// pointer-stable across evaluations of the same testbench, so worker N's
+// simulation reuses the plan worker M compiled. Only the compile step is
+// shared — binding a plan to runtime state (closures over *sigState)
+// stays per-Simulator, so sharing cannot leak state between runs and the
+// bound closure tree is identical whether the plan came from the cache or
+// from a fresh CompileExpr call. Byte-identity of simulation output is
+// therefore structural, not incidental.
+//
+// The cache is bounded by accounted bytes with FIFO eviction, mirroring
+// the outcome cache's CacheBytes discipline: the budget is a bound, not a
+// profile. Evicting an entry another simulator still uses is harmless
+// (plans are immutable; a later miss recompiles an equivalent plan), so
+// eviction never affects output.
+type PlanCache struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	mu      sync.RWMutex
+	budget  int64 // <0 = unbounded
+	plans   map[planKey]*elab.Plan
+	stars   map[*vlog.EventCtrl][]*vlog.Ident
+	order   []sharedEntry // FIFO insertion order; order[head:] is live
+	head    int
+	bytes   int64
+	evicted uint64
+}
+
+// sharedEntry is one FIFO accounting record: a plan entry, or (when star
+// is non-nil) a synthesized @* sensitivity list.
+type sharedEntry struct {
+	pk   planKey
+	star *vlog.EventCtrl
+	cost int64
+}
+
+// DefaultPlanCacheBytes is the default shared plan cache budget. Plan
+// trees are small (a few hundred bytes each), so 4 MiB holds the
+// compiled testbench cones of every problem/level plus a working set of
+// candidate cones. The bound is kept modest on purpose: resident plan
+// trees are pointer-dense and the collector re-marks them every cycle,
+// so an oversized cache taxes the whole process even when it never hits.
+const DefaultPlanCacheBytes = 4 << 20
+
+// planNodeCost is the accounted size of one plan node: the Plan struct,
+// its operand slice headers, and its share of map and FIFO bookkeeping,
+// calibrated against live-heap measurements of resident plan trees.
+const planNodeCost = 288
+
+// NewPlanCache returns a shared plan cache with the given byte budget:
+// 0 selects DefaultPlanCacheBytes, negative disables the bound.
+func NewPlanCache(budget int64) *PlanCache {
+	if budget == 0 {
+		budget = DefaultPlanCacheBytes
+	}
+	return &PlanCache{
+		budget: budget,
+		plans:  map[planKey]*elab.Plan{},
+		stars:  map[*vlog.EventCtrl][]*vlog.Ident{},
+	}
+}
+
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness.
+type PlanCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Bytes     int64
+	Entries   int
+}
+
+// Stats snapshots the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return PlanCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicted,
+		Bytes:     c.bytes,
+		Entries:   len(c.plans) + len(c.stars),
+	}
+}
+
+// plan returns the shared compiled plan for k, compiling it outside the
+// lock on a miss. The first inserted plan wins so all simulators bind the
+// same tree.
+func (c *PlanCache) plan(k planKey, compile func() *elab.Plan) *elab.Plan {
+	c.mu.RLock()
+	p, ok := c.plans[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return p
+	}
+	p = compile()
+	c.misses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q, ok := c.plans[k]; ok {
+		return q
+	}
+	cost := planCost(p)
+	c.plans[k] = p
+	c.order = append(c.order, sharedEntry{pk: k, cost: cost})
+	c.bytes += cost
+	c.evictLocked()
+	return p
+}
+
+// starIdents returns the shared synthesized @* sensitivity idents for an
+// event control. Sharing the Ident nodes keeps their plan keys stable
+// across simulators, so the per-ident plans also share.
+func (c *PlanCache) starIdents(n *vlog.EventCtrl, build func() []*vlog.Ident) []*vlog.Ident {
+	c.mu.RLock()
+	ids, ok := c.stars[n]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return ids
+	}
+	ids = build()
+	c.misses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q, ok := c.stars[n]; ok {
+		return q
+	}
+	cost := int64(len(ids))*64 + 64
+	c.stars[n] = ids
+	c.order = append(c.order, sharedEntry{star: n, cost: cost})
+	c.bytes += cost
+	c.evictLocked()
+	return ids
+}
+
+// evictLocked drops entries oldest-first until the budget holds. Callers
+// hold mu. Eviction is invisible to correctness: a re-miss recompiles an
+// equivalent immutable plan.
+func (c *PlanCache) evictLocked() {
+	if c.budget < 0 {
+		return
+	}
+	for c.bytes > c.budget && c.head < len(c.order) {
+		e := c.order[c.head]
+		c.head++
+		if e.star != nil {
+			delete(c.stars, e.star)
+		} else {
+			delete(c.plans, e.pk)
+		}
+		c.bytes -= e.cost
+		c.evicted++
+	}
+	switch {
+	case c.head == len(c.order):
+		c.order = c.order[:0]
+		c.head = 0
+	case c.head > 4096 && c.head*2 > len(c.order):
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+// planCost estimates the accounted bytes of one plan tree.
+func planCost(p *elab.Plan) int64 {
+	if p == nil {
+		return 0
+	}
+	cost := int64(planNodeCost)
+	cost += planCost(p.X) + planCost(p.Y) + planCost(p.Z)
+	for _, q := range p.Parts {
+		cost += planCost(q)
+	}
+	return cost
+}

@@ -114,12 +114,17 @@ type RegInit struct {
 	Value vlog.Expr
 }
 
-// Design is a fully elaborated hierarchy rooted at Top.
+// Design is a fully elaborated hierarchy rooted at Top. Spliced designs
+// (see skeleton.go) additionally carry the splice sites and a merged
+// child-order map; both are immutable once Splice returns.
 type Design struct {
 	Top      *Inst
 	Assigns  []*CA
 	Procs    []*Proc
 	RegInits []*RegInit
+
+	Splices  []SpliceSite
+	children map[*Inst][]*Inst
 }
 
 // Signal resolves name in this instance's scope.
@@ -153,6 +158,11 @@ type elaborator struct {
 	opts  Options
 	count int
 	d     *Design
+
+	// skeleton mode (see skeleton.go); all nil for normal elaboration
+	holes    map[string]bool // module names whose instantiation is deferred
+	deferred []deferredHole
+	bound    map[string]bool // module names resolved via FindModule
 }
 
 // Elaborate builds the design rooted at module top.
@@ -266,6 +276,10 @@ func (e *elaborator) instantiate(m *vlog.Module, path string, overrides map[stri
 			}
 			e.d.Procs = append(e.d.Procs, &Proc{Kind: ProcInitial, Body: n.Body, Scope: inst})
 		case *vlog.Instance:
+			if e.holes[n.Module] {
+				e.deferHole(n, inst, active)
+				continue
+			}
 			child, err := e.elabChild(n, inst, active)
 			if err != nil {
 				return nil, err
@@ -461,6 +475,9 @@ func (e *elaborator) elabChild(n *vlog.Instance, parent *Inst, active map[string
 	childMod := e.file.FindModule(n.Module)
 	if childMod == nil {
 		return nil, errf(n.Pos, "unknown module %q", n.Module)
+	}
+	if e.bound != nil {
+		e.bound[n.Module] = true
 	}
 	// parameter overrides, evaluated in the parent scope
 	overrides := map[string]vnum.Value{}
